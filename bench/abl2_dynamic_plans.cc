@@ -1,0 +1,112 @@
+// A2 — ablation: dynamic plans (§5.1) for parameterized queries against a
+// partial cached view, vs (a) no dynamic plans (the view is unusable for
+// parameterized predicates, every call ships to the backend) and (b)
+// reoptimizing every call with the literal value plugged in (gets the same
+// routing but pays an optimization per call). The paper: "dynamic plans are
+// crucial ... because they exploit the cached data efficiently while
+// avoiding the need for frequent reoptimization."
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "mtcache/mtcache.h"
+
+using namespace mtcache;
+using namespace mtcache::bench;
+
+namespace {
+
+struct Scenario {
+  SimClock clock;
+  LinkedServerRegistry links;
+  std::unique_ptr<Server> backend;
+  std::unique_ptr<Server> cache;
+  std::unique_ptr<ReplicationSystem> repl;
+  std::unique_ptr<MTCache> mtcache;
+};
+
+void Build(Scenario* s) {
+  s->backend = std::make_unique<Server>(ServerOptions{"backend", "dbo", {}},
+                                        &s->clock, &s->links);
+  s->cache = std::make_unique<Server>(ServerOptions{"cache", "dbo", {}},
+                                      &s->clock, &s->links);
+  s->repl = std::make_unique<ReplicationSystem>(&s->clock);
+  Check(s->backend->ExecuteScript(
+            "CREATE TABLE customer (cid INT PRIMARY KEY, cname VARCHAR(30), "
+            "caddress VARCHAR(60))"),
+        "schema");
+  for (int i = 1; i <= 2000; ++i) {
+    Check(s->backend->ExecuteScript(
+              "INSERT INTO customer VALUES (" + std::to_string(i) + ", 'n" +
+              std::to_string(i) + "', 'a" + std::to_string(i) + "')"),
+          "load");
+  }
+  s->backend->RecomputeStats();
+  s->mtcache = CheckOk(
+      MTCache::Setup(s->cache.get(), s->backend.get(), s->repl.get()),
+      "setup");
+  Check(s->mtcache->CreateCachedView(
+            "cust1000",
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= 1000"),
+        "view");
+}
+
+}  // namespace
+
+int main() {
+  Banner("A2", "Dynamic plans vs no-dynamic-plans vs per-call reoptimization",
+         "section 5.1 (the Cust1000 example); first industrial dynamic plans");
+
+  const int kCalls = 200;
+  const char* kSql =
+      "SELECT cid, cname, caddress FROM customer WHERE cid <= @cid";
+
+  std::printf("%-24s %12s %12s %14s %14s\n", "strategy", "local work",
+              "remote work", "optimizations", "opt time (us)");
+
+  // Parameter stream: uniform over the column domain, so roughly half the
+  // calls fall inside the cached view (matching the optimizer's Fl model).
+  auto param_at = [](Random* rng) { return rng->Uniform(1, 2000); };
+
+  for (int strategy = 0; strategy < 3; ++strategy) {
+    Scenario s;
+    Build(&s);
+    OptimizerOptions opts = s.cache->optimizer_options();
+    opts.enable_dynamic_plans = strategy == 0;
+    s.cache->set_optimizer_options(opts);
+    Random rng(2003);
+    ExecStats stats;
+    int64_t opt_time = 0;
+    for (int c = 0; c < kCalls; ++c) {
+      int64_t p = param_at(&rng);
+      if (strategy < 2) {
+        ParamMap params;
+        params["@cid"] = Value::Int(p);
+        CheckOk(s.cache->Execute(kSql, params, &stats), "execute");
+      } else {
+        // Literal form: a different statement text per value defeats the
+        // plan cache, so every call re-optimizes (time measured below).
+        std::string sql =
+            "SELECT cid, cname, caddress FROM customer WHERE cid <= " +
+            std::to_string(p);
+        OptimizeResult plan = CheckOk(s.cache->Explain(sql), "explain");
+        opt_time += plan.optimize_micros;
+        CheckOk(s.cache->Execute(sql, {}, &stats), "execute");
+      }
+    }
+    int64_t optimizations = s.cache->plan_cache_stats().misses;
+    const char* name = strategy == 0   ? "dynamic plans (MTCache)"
+                       : strategy == 1 ? "no dynamic plans"
+                                       : "reoptimize per call";
+    std::printf("%-24s %12.0f %12.0f %14lld %14lld\n", name, stats.local_cost,
+                stats.remote_cost,
+                static_cast<long long>(optimizations),
+                static_cast<long long>(opt_time));
+  }
+  std::printf(
+      "\nShape check: dynamic plans serve ~half the calls from the cached "
+      "view with ONE\noptimization; no-dynamic-plans ships every call. "
+      "Per-call reoptimization gets a\nsimilar split and slightly better "
+      "remote plans (the backend sees literals, not\ndefault parameter "
+      "selectivities) — at the price of an optimization per call.\n");
+  return 0;
+}

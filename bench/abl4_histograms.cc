@@ -1,0 +1,68 @@
+// A4 — ablation: equi-depth histograms vs uniform min/max interpolation for
+// range-selectivity estimation. Skewed data makes the uniform assumption
+// misestimate badly, which cascades into bad routing/access-path decisions;
+// the histogram keeps the q-error near 1.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "engine/server.h"
+
+using namespace mtcache;
+using namespace mtcache::bench;
+
+int main() {
+  Banner("A4", "Histogram vs uniform range-selectivity estimation",
+         "engine-quality ablation (shadowed statistics feed the cache's "
+         "optimizer, section 3/5)");
+
+  Server server(ServerOptions{"s", "dbo", {}});
+  Check(server.ExecuteScript(
+            "CREATE TABLE skewed (id INT PRIMARY KEY, v INT)"),
+        "schema");
+  // Zipf-flavored skew: value i^2 (dense low end, sparse high end).
+  const int kRows = 4000;
+  for (int i = 1; i <= kRows; ++i) {
+    Check(server.ExecuteScript("INSERT INTO skewed VALUES (" +
+                               std::to_string(i) + ", " +
+                               std::to_string(int64_t(i) * i) + ")"),
+          "load");
+  }
+  server.RecomputeStats();
+  TableDef* def = server.db().catalog().GetTable("skewed");
+  ColumnStats with_hist = def->stats.columns[1];
+  ColumnStats uniform = with_hist;
+  uniform.hist_bounds.clear();
+
+  std::printf("%-18s %10s %12s %12s %10s %10s\n", "predicate", "actual",
+              "histogram", "uniform", "q-err(h)", "q-err(u)");
+  double max_qerr_hist = 1;
+  double max_qerr_uni = 1;
+  for (double frac : {0.05, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    // v <= (frac * kRows)^2 selects ~frac of the rows.
+    double bound = (frac * kRows) * (frac * kRows);
+    auto actual_rows = server.Execute(
+        "SELECT COUNT(*) FROM skewed WHERE v <= " + std::to_string(bound));
+    double actual = CheckOk(std::move(actual_rows), "count")
+                        .rows[0][0]
+                        .AsInt();
+    double est_hist = with_hist.RangeLeSelectivity(bound) * kRows;
+    double est_uni = uniform.RangeLeSelectivity(bound) * kRows;
+    auto qerr = [&](double est) {
+      double a = std::max(actual, 1.0);
+      double e = std::max(est, 1.0);
+      return std::max(a / e, e / a);
+    };
+    max_qerr_hist = std::max(max_qerr_hist, qerr(est_hist));
+    max_qerr_uni = std::max(max_qerr_uni, qerr(est_uni));
+    std::printf("v <= %-12.0f %10.0f %12.0f %12.0f %10.2f %10.2f\n", bound,
+                actual, est_hist, est_uni, qerr(est_hist), qerr(est_uni));
+  }
+  std::printf("\nMax q-error: histogram %.2f vs uniform %.2f\n", max_qerr_hist,
+              max_qerr_uni);
+  std::printf("Shape check: histogram q-error stays near 1 across the whole "
+              "range; the uniform\nmodel misestimates the skewed low end by "
+              "an order of magnitude.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#ifndef MTCACHE_BENCH_BENCH_UTIL_H_
+#define MTCACHE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/testbed.h"
+
+namespace mtcache {
+namespace bench {
+
+inline void Banner(const char* id, const char* title, const char* paper) {
+  std::printf("=====================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("Paper reference: %s\n", paper);
+  std::printf("=====================================================================\n");
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL during %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T CheckOk(StatusOr<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL during %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result.ConsumeValue();
+}
+
+/// The standard experiment scale (laptop-sized stand-in for the paper's
+/// 10,000-item / 10,000-EB database; DESIGN.md documents the substitution).
+inline sim::TestbedConfig PaperConfig() {
+  sim::TestbedConfig config;
+  config.tpcw.num_items = 1000;
+  config.tpcw.num_authors = 250;
+  config.tpcw.num_customers = 2880;
+  config.tpcw.num_orders = 2590;
+  config.tpcw.best_seller_window = 333;
+  config.profile_samples = 20;
+  return config;
+}
+
+}  // namespace bench
+}  // namespace mtcache
+
+#endif  // MTCACHE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,35 @@
+// E1 — §6.2.1 baseline throughput: all database work on the backend server
+// (web servers access it directly), users scaled until the latency bound is
+// barely met. Paper: Browsing 50 WIPS, Shopping 82 WIPS, Ordering 283 WIPS
+// with the backend at ~90% CPU.
+
+#include "bench/bench_util.h"
+
+using namespace mtcache;
+using namespace mtcache::bench;
+
+int main() {
+  Banner("E1", "Baseline throughput without caching",
+         "section 6.2.1 table (no cache: 50 / 82 / 283 WIPS)");
+  std::printf("%-10s %8s %8s %12s %12s %10s\n", "Workload", "Users", "WIPS",
+              "BackendCPU", "WebCPU", "p90(s)");
+  const double paper[3] = {50, 82, 283};
+  int i = 0;
+  for (auto mix : {tpcw::WorkloadMix::kBrowsing, tpcw::WorkloadMix::kShopping,
+                   tpcw::WorkloadMix::kOrdering}) {
+    sim::TestbedConfig config = PaperConfig();
+    config.mix = mix;
+    config.caching = false;
+    config.num_web_servers = 5;
+    sim::Testbed testbed(config);
+    Check(testbed.Initialize(), "testbed init");
+    sim::TestbedResult r =
+        CheckOk(testbed.FindMaxThroughput(15, 80), "find max throughput");
+    std::printf("%-10s %8d %8.1f %11.1f%% %11.1f%% %10.2f   (paper: %.0f WIPS)\n",
+                tpcw::MixName(mix), r.users, r.wips, r.backend_util * 100,
+                r.max_web_util * 100, r.p90_latency, paper[i++]);
+  }
+  std::printf("\nShape check: Ordering >> Shopping > Browsing, backend ~90%% "
+              "loaded in all three.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// M1 — micro-benchmark: the storage engine's B+-tree.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "storage/bptree.h"
+
+namespace mtcache {
+namespace {
+
+void BM_BtreeInsertSequential(benchmark::State& state) {
+  for (auto _ : state) {
+    BPlusTree tree;
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert({Value::Int(i)}, i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BtreeInsertSequential)->Arg(1000)->Arg(10000);
+
+void BM_BtreeInsertRandom(benchmark::State& state) {
+  for (auto _ : state) {
+    BPlusTree tree;
+    Random rng(42);
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert({Value::Int(rng.Uniform(0, 1 << 30))}, i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BtreeInsertRandom)->Arg(1000)->Arg(10000);
+
+void BM_BtreePointSeek(benchmark::State& state) {
+  BPlusTree tree;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) tree.Insert({Value::Int(i)}, i);
+  Random rng(7);
+  for (auto _ : state) {
+    auto it = tree.SeekGe({Value::Int(rng.Uniform(0, n - 1))});
+    benchmark::DoNotOptimize(it.Valid());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreePointSeek)->Arg(10000)->Arg(100000);
+
+void BM_BtreeRangeScan100(benchmark::State& state) {
+  BPlusTree tree;
+  const int64_t n = 100000;
+  for (int64_t i = 0; i < n; ++i) tree.Insert({Value::Int(i)}, i);
+  Random rng(9);
+  for (auto _ : state) {
+    int64_t start = rng.Uniform(0, n - 101);
+    int64_t count = 0;
+    for (auto it = tree.SeekGe({Value::Int(start)});
+         it.Valid() && count < 100; it.Next()) {
+      ++count;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BtreeRangeScan100);
+
+}  // namespace
+}  // namespace mtcache

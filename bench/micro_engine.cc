@@ -1,0 +1,108 @@
+// M2 — micro-benchmark: end-to-end query execution through the engine
+// (parse -> bind -> optimize(plan cache) -> execute).
+
+#include <benchmark/benchmark.h>
+
+#include "engine/server.h"
+
+namespace mtcache {
+namespace {
+
+Server* SharedServer() {
+  static Server* server = [] {
+    auto* s = new Server(ServerOptions{"bench", "dbo", {}});
+    Status st = s->ExecuteScript(
+        "CREATE TABLE item (i_id INT PRIMARY KEY, i_subject VARCHAR(20), "
+        "i_cost FLOAT); "
+        "CREATE INDEX item_subject ON item (i_subject);");
+    if (!st.ok()) std::abort();
+    for (int i = 1; i <= 5000; ++i) {
+      st = s->ExecuteScript("INSERT INTO item VALUES (" + std::to_string(i) +
+                            ", 'sub" + std::to_string(i % 20) + "', " +
+                            std::to_string(i * 0.5) + ")");
+      if (!st.ok()) std::abort();
+    }
+    s->RecomputeStats();
+    return s;
+  }();
+  return server;
+}
+
+void BM_PointLookupCachedPlan(benchmark::State& state) {
+  Server* s = SharedServer();
+  ParamMap params;
+  int64_t i = 0;
+  for (auto _ : state) {
+    params["@id"] = Value::Int(i++ % 5000 + 1);
+    ExecStats stats;
+    auto r = s->Execute("SELECT i_cost FROM item WHERE i_id = @id", params,
+                        &stats);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointLookupCachedPlan);
+
+void BM_IndexRangeQuery(benchmark::State& state) {
+  Server* s = SharedServer();
+  ParamMap params;
+  for (auto _ : state) {
+    params["@s"] = Value::String("sub7");
+    ExecStats stats;
+    auto r = s->Execute(
+        "SELECT COUNT(*) FROM item WHERE i_subject = @s", params, &stats);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IndexRangeQuery);
+
+void BM_AggregationScan(benchmark::State& state) {
+  Server* s = SharedServer();
+  for (auto _ : state) {
+    auto r = s->Execute(
+        "SELECT i_subject, COUNT(*), AVG(i_cost) FROM item GROUP BY "
+        "i_subject");
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 5000);
+}
+BENCHMARK(BM_AggregationScan);
+
+void BM_ParseOnly(benchmark::State& state) {
+  const std::string sql =
+      "SELECT TOP 50 i.i_id, a.a_lname, SUM(ol.ol_qty) AS total "
+      "FROM order_line ol, item i, author a, "
+      "(SELECT TOP 333 o_id FROM orders ORDER BY o_date DESC) recent "
+      "WHERE ol.ol_o_id = recent.o_id AND i.i_id = ol.ol_i_id "
+      "AND a.a_id = i.i_a_id AND i.i_subject = @subject "
+      "GROUP BY i.i_id, a.a_lname ORDER BY total DESC";
+  for (auto _ : state) {
+    auto r = ParseSql(sql);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseOnly);
+
+void BM_InsertDeleteRoundTrip(benchmark::State& state) {
+  Server* s = SharedServer();
+  int64_t id = 1000000;
+  for (auto _ : state) {
+    std::string istr = std::to_string(id++);
+    auto ins = s->Execute("INSERT INTO item VALUES (" + istr +
+                          ", 'tmp', 1.0)");
+    if (!ins.ok()) std::abort();
+    auto del = s->Execute("DELETE FROM item WHERE i_id = " + istr);
+    if (!del.ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_InsertDeleteRoundTrip);
+
+}  // namespace
+}  // namespace mtcache

@@ -1,0 +1,94 @@
+// M3 — micro-benchmark: optimizer latency, with and without the MTCache
+// extensions active (view matching + dynamic plans), on an MTCache server.
+
+#include <benchmark/benchmark.h>
+
+#include "mtcache/mtcache.h"
+
+namespace mtcache {
+namespace {
+
+struct Scenario {
+  SimClock clock;
+  LinkedServerRegistry links;
+  std::unique_ptr<Server> backend;
+  std::unique_ptr<Server> cache;
+  std::unique_ptr<ReplicationSystem> repl;
+  std::unique_ptr<MTCache> mtcache;
+};
+
+Scenario* SharedScenario() {
+  static Scenario* s = [] {
+    auto* sc = new Scenario();
+    sc->backend = std::make_unique<Server>(
+        ServerOptions{"backend", "dbo", {}}, &sc->clock, &sc->links);
+    sc->cache = std::make_unique<Server>(ServerOptions{"cache", "dbo", {}},
+                                         &sc->clock, &sc->links);
+    sc->repl = std::make_unique<ReplicationSystem>(&sc->clock);
+    Status st = sc->backend->ExecuteScript(
+        "CREATE TABLE customer (cid INT PRIMARY KEY, cname VARCHAR(30)); "
+        "CREATE TABLE orders (okey INT PRIMARY KEY, ckey INT, total FLOAT); "
+        "CREATE INDEX orders_ckey ON orders (ckey);");
+    if (!st.ok()) std::abort();
+    for (int i = 1; i <= 500; ++i) {
+      st = sc->backend->ExecuteScript("INSERT INTO customer VALUES (" +
+                                      std::to_string(i) + ", 'n')");
+      if (!st.ok()) std::abort();
+    }
+    sc->backend->RecomputeStats();
+    auto setup =
+        MTCache::Setup(sc->cache.get(), sc->backend.get(), sc->repl.get());
+    if (!setup.ok()) std::abort();
+    sc->mtcache = setup.ConsumeValue();
+    st = sc->mtcache->CreateCachedView(
+        "cust250", "SELECT cid, cname FROM customer WHERE cid <= 250");
+    if (!st.ok()) std::abort();
+    return sc;
+  }();
+  return s;
+}
+
+const char* kParamJoin =
+    "SELECT c.cname, o.total FROM customer c, orders o "
+    "WHERE c.cid <= @p AND c.cid = o.ckey";
+
+void BM_OptimizeDynamicPlanQuery(benchmark::State& state) {
+  Scenario* s = SharedScenario();
+  for (auto _ : state) {
+    auto r = s->cache->Explain(kParamJoin);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->plan_size);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizeDynamicPlanQuery);
+
+void BM_OptimizeWithoutViewMatching(benchmark::State& state) {
+  Scenario* s = SharedScenario();
+  OptimizerOptions saved = s->cache->optimizer_options();
+  OptimizerOptions opts = saved;
+  opts.enable_view_matching = false;
+  s->cache->set_optimizer_options(opts);
+  for (auto _ : state) {
+    auto r = s->cache->Explain(kParamJoin);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->plan_size);
+  }
+  s->cache->set_optimizer_options(saved);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizeWithoutViewMatching);
+
+void BM_OptimizeSimpleLookup(benchmark::State& state) {
+  Scenario* s = SharedScenario();
+  for (auto _ : state) {
+    auto r = s->cache->Explain("SELECT cname FROM customer WHERE cid = 42");
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->est_cost);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OptimizeSimpleLookup);
+
+}  // namespace
+}  // namespace mtcache

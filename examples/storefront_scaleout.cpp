@@ -1,0 +1,59 @@
+// Storefront scale-out: the paper's headline scenario in miniature. Runs the
+// TPC-W Shopping workload against (a) the backend alone and (b) one to three
+// MTCache web/cache servers, printing throughput and backend CPU load.
+//
+//   ./build/examples/storefront_scaleout
+
+#include <cstdio>
+
+#include "sim/testbed.h"
+
+using namespace mtcache;
+using namespace mtcache::sim;
+
+int main() {
+  TestbedConfig base;
+  base.tpcw.num_items = 500;
+  base.tpcw.num_authors = 125;
+  base.tpcw.num_customers = 1000;
+  base.tpcw.num_orders = 900;
+  base.tpcw.best_seller_window = 120;
+  base.mix = tpcw::WorkloadMix::kShopping;
+  base.profile_samples = 10;
+
+  std::printf("TPC-W Shopping mix, miniature scale (%d items, %d customers)\n\n",
+              base.tpcw.num_items, base.tpcw.num_customers);
+  std::printf("%-28s %8s %10s %12s %10s\n", "configuration", "users", "WIPS",
+              "backendCPU", "p90(s)");
+
+  {
+    TestbedConfig config = base;
+    config.caching = false;
+    config.num_web_servers = 3;
+    Testbed testbed(config);
+    if (!testbed.Initialize().ok()) return 1;
+    auto r = testbed.FindMaxThroughput(10, 40);
+    if (!r.ok()) return 1;
+    std::printf("%-28s %8d %10.1f %11.1f%% %10.2f\n", "no caching (backend only)",
+                r->users, r->wips, r->backend_util * 100, r->p90_latency);
+  }
+  for (int caches = 1; caches <= 5; ++caches) {
+    TestbedConfig config = base;
+    config.caching = true;
+    config.num_web_servers = caches;
+    Testbed testbed(config);
+    if (!testbed.Initialize().ok()) return 1;
+    auto r = testbed.FindMaxThroughput(10, 40);
+    if (!r.ok()) return 1;
+    std::printf("%-26s %2d %8d %10.1f %11.1f%% %10.2f\n", "MTCache servers:",
+                caches, r->users, r->wips, r->backend_util * 100,
+                r->p90_latency);
+  }
+  std::printf(
+      "\nAdding cache servers grows read-mostly throughput nearly linearly "
+      "while the\nbackend coasts — the paper's Figure 6 in miniature. (At "
+      "this toy scale the\ndual-CPU backend alone is quick; the win is the "
+      "slope: every extra commodity\ncache server adds throughput without "
+      "touching the backend.)\n");
+  return 0;
+}

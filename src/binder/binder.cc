@@ -1,0 +1,766 @@
+#include "binder/binder.h"
+
+#include <set>
+
+namespace mtcache {
+
+namespace {
+
+bool IsNumeric(TypeId t) {
+  return t == TypeId::kInt64 || t == TypeId::kDouble || t == TypeId::kBool ||
+         t == TypeId::kNull;
+}
+
+// Two types can meet in a comparison if either side is flexible (param/null).
+bool Comparable(TypeId a, TypeId b) {
+  if (a == TypeId::kNull || b == TypeId::kNull) return true;
+  if (IsNumeric(a) && IsNumeric(b)) return true;
+  return a == b;
+}
+
+}  // namespace
+
+bool HasAggregate(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kAggregate:
+      return true;
+    case ExprKind::kUnary:
+      return HasAggregate(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      return HasAggregate(*e.left) || HasAggregate(*e.right);
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(expr);
+      return HasAggregate(*e.input) || HasAggregate(*e.pattern);
+    }
+    case ExprKind::kIn: {
+      const auto& e = static_cast<const InExpr&>(expr);
+      if (HasAggregate(*e.input)) return true;
+      for (const auto& item : e.list) {
+        if (HasAggregate(*item)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kBetween: {
+      const auto& e = static_cast<const BetweenExpr&>(expr);
+      return HasAggregate(*e.input) || HasAggregate(*e.lo) ||
+             HasAggregate(*e.hi);
+    }
+    case ExprKind::kIsNull:
+      return HasAggregate(*static_cast<const IsNullExpr&>(expr).input);
+    case ExprKind::kFunction: {
+      for (const auto& a : static_cast<const FunctionExpr&>(expr).args) {
+        if (HasAggregate(*a)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      if (e.operand != nullptr && HasAggregate(*e.operand)) return true;
+      for (const auto& [when, then] : e.branches) {
+        if (HasAggregate(*when) || HasAggregate(*then)) return true;
+      }
+      return e.else_expr != nullptr && HasAggregate(*e.else_expr);
+    }
+    default:
+      return false;
+  }
+}
+
+Status Binder::CheckPrivilege(const TableDef& table, Privilege priv) const {
+  if (!Catalog::HasPrivilege(table, user_, priv)) {
+    return Status::PermissionDenied("user " + user_ +
+                                    " lacks privilege on table " + table.name);
+  }
+  return Status::Ok();
+}
+
+StatusOr<BExprPtr> Binder::BindColumn(const ColumnRefExpr& expr,
+                                      const Schema& scope) {
+  int ord = scope.FindColumn(expr.column, expr.table);
+  if (ord == -2) {
+    return Status::InvalidArgument("ambiguous column: " + expr.column);
+  }
+  if (ord < 0) {
+    std::string full =
+        expr.table.empty() ? expr.column : expr.table + "." + expr.column;
+    return Status::InvalidArgument("unknown column: " + full);
+  }
+  const ColumnInfo& col = scope.column(ord);
+  std::string name =
+      col.table.empty() ? col.name : col.table + "." + col.name;
+  return BExprPtr(std::make_unique<BoundColumnRef>(ord, col.type, name));
+}
+
+StatusOr<BExprPtr> Binder::BindExpr(const Expr& expr, const Schema& scope,
+                                    AggState* agg) {
+  // In aggregate mode, expressions above the Aggregate may only reference
+  // group-by columns and aggregates; both rewrite to column refs into the
+  // Aggregate's output.
+  if (agg != nullptr && agg->active) {
+    if (expr.kind == ExprKind::kAggregate) {
+      const auto& e = static_cast<const AggregateExpr&>(expr);
+      AggItem item;
+      item.func = e.func;
+      if (e.arg != nullptr) {
+        AggState none;
+        MT_ASSIGN_OR_RETURN(item.arg, BindExpr(*e.arg, scope, &none));
+      }
+      // Deduplicate structurally identical aggregates.
+      for (size_t i = 0; i < agg->aggs->size(); ++i) {
+        const AggItem& existing = (*agg->aggs)[i];
+        bool same = existing.func == item.func &&
+                    ((existing.arg == nullptr && item.arg == nullptr) ||
+                     (existing.arg != nullptr && item.arg != nullptr &&
+                      BoundEquals(*existing.arg, *item.arg)));
+        if (same) {
+          TypeId t = existing.func == AggFunc::kAvg ? TypeId::kDouble
+                     : existing.arg ? existing.arg->type
+                                    : TypeId::kInt64;
+          if (existing.func == AggFunc::kCount ||
+              existing.func == AggFunc::kCountStar) {
+            t = TypeId::kInt64;
+          }
+          return BExprPtr(std::make_unique<BoundColumnRef>(
+              agg->num_groups + static_cast<int>(i), t,
+              "agg" + std::to_string(i)));
+        }
+      }
+      TypeId t = item.func == AggFunc::kAvg ? TypeId::kDouble
+                 : item.arg ? item.arg->type
+                            : TypeId::kInt64;
+      if (item.func == AggFunc::kCount || item.func == AggFunc::kCountStar) {
+        t = TypeId::kInt64;
+      }
+      agg->aggs->push_back(std::move(item));
+      int idx = static_cast<int>(agg->aggs->size()) - 1;
+      return BExprPtr(std::make_unique<BoundColumnRef>(
+          agg->num_groups + idx, t, "agg" + std::to_string(idx)));
+    }
+    if (expr.kind == ExprKind::kColumnRef) {
+      // Must match a group-by expression.
+      AggState none;
+      MT_ASSIGN_OR_RETURN(
+          BExprPtr bound,
+          BindExpr(expr, scope, &none));
+      for (size_t i = 0; i < agg->group_by->size(); ++i) {
+        if (BoundEquals(*(*agg->group_by)[i], *bound)) {
+          const auto& ref = static_cast<const BoundColumnRef&>(*bound);
+          return BExprPtr(std::make_unique<BoundColumnRef>(
+              static_cast<int>(i), bound->type, ref.name));
+        }
+      }
+      return Status::InvalidArgument(
+          "column must appear in GROUP BY: " +
+          static_cast<const ColumnRefExpr&>(expr).column);
+    }
+    // Fall through: other node kinds recurse with agg mode preserved.
+  }
+
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      const auto& e = static_cast<const LiteralExpr&>(expr);
+      return BExprPtr(std::make_unique<BoundLiteral>(e.value));
+    }
+    case ExprKind::kColumnRef:
+      return BindColumn(static_cast<const ColumnRefExpr&>(expr), scope);
+    case ExprKind::kParam: {
+      const auto& e = static_cast<const ParamExpr&>(expr);
+      return BExprPtr(std::make_unique<BoundParam>(e.name, TypeId::kNull));
+    }
+    case ExprKind::kUnary: {
+      const auto& e = static_cast<const UnaryExpr&>(expr);
+      MT_ASSIGN_OR_RETURN(BExprPtr operand, BindExpr(*e.operand, scope, agg));
+      TypeId t =
+          e.op == UnaryOp::kNot ? TypeId::kBool : operand->type;
+      if (e.op == UnaryOp::kNeg && !IsNumeric(operand->type)) {
+        return Status::InvalidArgument("cannot negate a non-numeric value");
+      }
+      return BExprPtr(
+          std::make_unique<BoundUnary>(e.op, std::move(operand), t));
+    }
+    case ExprKind::kBinary: {
+      const auto& e = static_cast<const BinaryExpr&>(expr);
+      MT_ASSIGN_OR_RETURN(BExprPtr left, BindExpr(*e.left, scope, agg));
+      MT_ASSIGN_OR_RETURN(BExprPtr right, BindExpr(*e.right, scope, agg));
+      TypeId t = TypeId::kBool;
+      switch (e.op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          if (e.op == BinaryOp::kAdd && (left->type == TypeId::kString ||
+                                         right->type == TypeId::kString)) {
+            t = TypeId::kString;  // concatenation
+          } else if (!IsNumeric(left->type) || !IsNumeric(right->type)) {
+            return Status::InvalidArgument("arithmetic on non-numeric values");
+          } else if (left->type == TypeId::kDouble ||
+                     right->type == TypeId::kDouble) {
+            t = TypeId::kDouble;
+          } else if (left->type == TypeId::kNull ||
+                     right->type == TypeId::kNull) {
+            t = TypeId::kNull;  // parameter-dependent
+          } else {
+            t = TypeId::kInt64;
+          }
+          break;
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          if (!Comparable(left->type, right->type)) {
+            return Status::InvalidArgument(
+                "cannot compare " + std::string(TypeName(left->type)) +
+                " with " + TypeName(right->type));
+          }
+          t = TypeId::kBool;
+          break;
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          t = TypeId::kBool;
+          break;
+      }
+      return BExprPtr(std::make_unique<BoundBinary>(
+          e.op, std::move(left), std::move(right), t));
+    }
+    case ExprKind::kLike: {
+      const auto& e = static_cast<const LikeExpr&>(expr);
+      MT_ASSIGN_OR_RETURN(BExprPtr input, BindExpr(*e.input, scope, agg));
+      MT_ASSIGN_OR_RETURN(BExprPtr pattern, BindExpr(*e.pattern, scope, agg));
+      return BExprPtr(std::make_unique<BoundLike>(
+          std::move(input), std::move(pattern), e.negated));
+    }
+    case ExprKind::kIn: {
+      // Lower to an OR (or AND of <>) chain.
+      const auto& e = static_cast<const InExpr&>(expr);
+      BExprPtr result;
+      for (const auto& item : e.list) {
+        MT_ASSIGN_OR_RETURN(BExprPtr input, BindExpr(*e.input, scope, agg));
+        MT_ASSIGN_OR_RETURN(BExprPtr rhs, BindExpr(*item, scope, agg));
+        auto cmp = std::make_unique<BoundBinary>(
+            e.negated ? BinaryOp::kNe : BinaryOp::kEq, std::move(input),
+            std::move(rhs), TypeId::kBool);
+        if (!result) {
+          result = std::move(cmp);
+        } else {
+          result = std::make_unique<BoundBinary>(
+              e.negated ? BinaryOp::kAnd : BinaryOp::kOr, std::move(result),
+              std::move(cmp), TypeId::kBool);
+        }
+      }
+      if (!result) {
+        return Status::InvalidArgument("empty IN list");
+      }
+      return result;
+    }
+    case ExprKind::kBetween: {
+      // Lower to (x >= lo AND x <= hi).
+      const auto& e = static_cast<const BetweenExpr&>(expr);
+      MT_ASSIGN_OR_RETURN(BExprPtr in1, BindExpr(*e.input, scope, agg));
+      MT_ASSIGN_OR_RETURN(BExprPtr in2, BindExpr(*e.input, scope, agg));
+      MT_ASSIGN_OR_RETURN(BExprPtr lo, BindExpr(*e.lo, scope, agg));
+      MT_ASSIGN_OR_RETURN(BExprPtr hi, BindExpr(*e.hi, scope, agg));
+      auto ge = std::make_unique<BoundBinary>(BinaryOp::kGe, std::move(in1),
+                                              std::move(lo), TypeId::kBool);
+      auto le = std::make_unique<BoundBinary>(BinaryOp::kLe, std::move(in2),
+                                              std::move(hi), TypeId::kBool);
+      return BExprPtr(std::make_unique<BoundBinary>(
+          BinaryOp::kAnd, std::move(ge), std::move(le), TypeId::kBool));
+    }
+    case ExprKind::kIsNull: {
+      const auto& e = static_cast<const IsNullExpr&>(expr);
+      MT_ASSIGN_OR_RETURN(BExprPtr input, BindExpr(*e.input, scope, agg));
+      return BExprPtr(
+          std::make_unique<BoundIsNull>(std::move(input), e.negated));
+    }
+    case ExprKind::kFunction: {
+      const auto& e = static_cast<const FunctionExpr&>(expr);
+      std::vector<BExprPtr> args;
+      for (const auto& a : e.args) {
+        MT_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*a, scope, agg));
+        args.push_back(std::move(bound));
+      }
+      struct FnSpec {
+        const char* name;
+        BuiltinFn fn;
+        int min_args;
+        int max_args;
+        TypeId type;
+      };
+      static const FnSpec kFns[] = {
+          {"getdate", BuiltinFn::kGetDate, 0, 0, TypeId::kInt64},
+          {"abs", BuiltinFn::kAbs, 1, 1, TypeId::kNull},
+          {"len", BuiltinFn::kLen, 1, 1, TypeId::kInt64},
+          {"substring", BuiltinFn::kSubstring, 3, 3, TypeId::kString},
+          {"round", BuiltinFn::kRound, 1, 2, TypeId::kDouble},
+          {"coalesce", BuiltinFn::kCoalesce, 1, 8, TypeId::kNull},
+      };
+      for (const FnSpec& spec : kFns) {
+        if (e.name != spec.name) continue;
+        int n = static_cast<int>(args.size());
+        if (n < spec.min_args || n > spec.max_args) {
+          return Status::InvalidArgument("wrong argument count for " + e.name);
+        }
+        TypeId t = spec.type;
+        if (t == TypeId::kNull && !args.empty()) t = args[0]->type;
+        return BExprPtr(
+            std::make_unique<BoundFunction>(spec.fn, std::move(args), t));
+      }
+      return Status::InvalidArgument("unknown function: " + e.name);
+    }
+    case ExprKind::kCase: {
+      const auto& e = static_cast<const CaseExpr&>(expr);
+      std::vector<std::pair<BExprPtr, BExprPtr>> branches;
+      TypeId t = TypeId::kNull;
+      for (const auto& [when, then] : e.branches) {
+        BExprPtr cond;
+        if (e.operand != nullptr) {
+          // Simple CASE lowers to `operand = when`.
+          MT_ASSIGN_OR_RETURN(BExprPtr lhs, BindExpr(*e.operand, scope, agg));
+          MT_ASSIGN_OR_RETURN(BExprPtr rhs, BindExpr(*when, scope, agg));
+          if (!Comparable(lhs->type, rhs->type)) {
+            return Status::InvalidArgument("CASE operand/WHEN type mismatch");
+          }
+          cond = std::make_unique<BoundBinary>(BinaryOp::kEq, std::move(lhs),
+                                               std::move(rhs), TypeId::kBool);
+        } else {
+          MT_ASSIGN_OR_RETURN(cond, BindExpr(*when, scope, agg));
+        }
+        MT_ASSIGN_OR_RETURN(BExprPtr result, BindExpr(*then, scope, agg));
+        if (t == TypeId::kNull) t = result->type;
+        branches.emplace_back(std::move(cond), std::move(result));
+      }
+      BExprPtr else_bound;
+      if (e.else_expr != nullptr) {
+        MT_ASSIGN_OR_RETURN(else_bound, BindExpr(*e.else_expr, scope, agg));
+        if (t == TypeId::kNull) t = else_bound->type;
+      }
+      return BExprPtr(std::make_unique<BoundCase>(
+          std::move(branches), std::move(else_bound), t));
+    }
+    case ExprKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregate not allowed in this context");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+StatusOr<BExprPtr> Binder::BindScalar(const Expr& expr) {
+  Schema empty;
+  AggState none;
+  return BindExpr(expr, empty, &none);
+}
+
+StatusOr<LogicalPtr> Binder::BindTableRef(const TableRef& ref) {
+  if (ref.derived != nullptr) {
+    MT_ASSIGN_OR_RETURN(LogicalPtr plan, BindSelect(*ref.derived));
+    // Re-qualify the derived table's output columns with its alias.
+    Schema requalified;
+    for (const ColumnInfo& col : plan->schema.columns()) {
+      ColumnInfo copy = col;
+      copy.table = ref.alias;
+      requalified.AddColumn(std::move(copy));
+    }
+    plan->schema = std::move(requalified);
+    return plan;
+  }
+  Catalog* catalog = catalog_;
+  if (!ref.server.empty()) {
+    if (resolver_ == nullptr) {
+      return Status::InvalidArgument("unknown linked server: " + ref.server);
+    }
+    catalog = resolver_(ref.server);
+    if (catalog == nullptr) {
+      return Status::InvalidArgument("unknown linked server: " + ref.server);
+    }
+  }
+  TableDef* def = catalog->GetTable(ref.name);
+  if (def == nullptr) {
+    return Status::NotFound("table not found: " + ref.name);
+  }
+  MT_RETURN_IF_ERROR(CheckPrivilege(*def, Privilege::kSelect));
+  auto get = std::make_unique<LogicalGet>();
+  get->table = ref.name;
+  get->alias = ref.alias.empty() ? ref.name : ref.alias;
+  get->server = ref.server;
+  get->def = def;
+  for (const ColumnInfo& col : def->schema.columns()) {
+    ColumnInfo copy = col;
+    copy.table = get->alias;
+    get->schema.AddColumn(std::move(copy));
+  }
+  return LogicalPtr(std::move(get));
+}
+
+StatusOr<LogicalPtr> Binder::BindSelect(const SelectStmt& stmt) {
+  // ---- FROM ----
+  LogicalPtr plan;
+  if (stmt.from.empty()) {
+    // Row-free SELECT (e.g. SELECT GETDATE()): single-row dual source.
+    auto dual = std::make_unique<LogicalGet>();
+    dual->table = "";  // dual
+    plan = std::move(dual);
+  } else {
+    MT_ASSIGN_OR_RETURN(plan, BindTableRef(stmt.from[0]));
+    for (size_t i = 1; i < stmt.from.size(); ++i) {
+      MT_ASSIGN_OR_RETURN(LogicalPtr right, BindTableRef(stmt.from[i]));
+      auto join = std::make_unique<LogicalJoin>();
+      join->join_kind = JoinKind::kInner;
+      join->schema = Schema::Concat(plan->schema, right->schema);
+      join->children.push_back(std::move(plan));
+      join->children.push_back(std::move(right));
+      plan = std::move(join);
+    }
+    for (const JoinClause& jc : stmt.joins) {
+      MT_ASSIGN_OR_RETURN(LogicalPtr right, BindTableRef(jc.table));
+      Schema combined = Schema::Concat(plan->schema, right->schema);
+      auto join = std::make_unique<LogicalJoin>();
+      join->join_kind = jc.kind;
+      if (jc.on != nullptr) {
+        AggState none;
+        MT_ASSIGN_OR_RETURN(join->condition, BindExpr(*jc.on, combined, &none));
+      }
+      join->schema = combined;
+      join->children.push_back(std::move(plan));
+      join->children.push_back(std::move(right));
+      plan = std::move(join);
+    }
+  }
+
+  // ---- WHERE ----
+  if (stmt.where != nullptr) {
+    if (HasAggregate(*stmt.where)) {
+      return Status::InvalidArgument("aggregates are not allowed in WHERE");
+    }
+    AggState none;
+    MT_ASSIGN_OR_RETURN(BExprPtr pred, BindExpr(*stmt.where, plan->schema, &none));
+    auto filter = std::make_unique<LogicalFilter>();
+    filter->predicate = std::move(pred);
+    filter->schema = plan->schema;
+    filter->children.push_back(std::move(plan));
+    plan = std::move(filter);
+  }
+
+  // ---- Aggregation ----
+  bool has_agg = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr != nullptr && HasAggregate(*item.expr)) has_agg = true;
+  }
+  if (stmt.having != nullptr) has_agg = true;
+
+  Schema input_scope = plan->schema;  // scope below aggregation
+  std::vector<BExprPtr> group_by;
+  std::vector<AggItem> aggs;
+  AggState agg_state;
+
+  if (has_agg) {
+    for (const auto& g : stmt.group_by) {
+      AggState none;
+      MT_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*g, input_scope, &none));
+      if (bound->kind != BoundExprKind::kColumnRef) {
+        return Status::NotImplemented("GROUP BY items must be columns");
+      }
+      group_by.push_back(std::move(bound));
+    }
+    agg_state.group_by = &group_by;
+    agg_state.aggs = &aggs;
+    agg_state.num_groups = static_cast<int>(group_by.size());
+    agg_state.active = true;
+  }
+
+  // ---- Select list ----
+  std::vector<BExprPtr> proj_exprs;
+  Schema proj_schema;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      if (has_agg) {
+        return Status::InvalidArgument("* not allowed with GROUP BY");
+      }
+      for (int i = 0; i < input_scope.num_columns(); ++i) {
+        const ColumnInfo& col = input_scope.column(i);
+        if (!item.star_qualifier.empty() && col.table != item.star_qualifier) {
+          continue;
+        }
+        std::string name =
+            col.table.empty() ? col.name : col.table + "." + col.name;
+        proj_exprs.push_back(
+            std::make_unique<BoundColumnRef>(i, col.type, name));
+        proj_schema.AddColumn(col);
+      }
+      continue;
+    }
+    MT_ASSIGN_OR_RETURN(BExprPtr bound,
+                        BindExpr(*item.expr, input_scope, &agg_state));
+    std::string out_name = item.alias;
+    if (out_name.empty()) {
+      if (item.expr->kind == ExprKind::kColumnRef) {
+        out_name = static_cast<const ColumnRefExpr&>(*item.expr).column;
+      } else {
+        out_name = "col" + std::to_string(proj_schema.num_columns());
+      }
+    }
+    ColumnInfo info;
+    info.name = out_name;
+    info.type = bound->type;
+    proj_schema.AddColumn(std::move(info));
+    proj_exprs.push_back(std::move(bound));
+  }
+
+  // ---- HAVING ----
+  BExprPtr having;
+  if (stmt.having != nullptr) {
+    MT_ASSIGN_OR_RETURN(having, BindExpr(*stmt.having, input_scope, &agg_state));
+  }
+
+  // ---- ORDER BY (bind keys before building the pipeline) ----
+  // Keys are bound either over the pre-projection scope (below the Project)
+  // or, if that fails, over the projection's output (above it).
+  std::vector<SortKey> sort_keys;
+  bool sort_above_project = false;
+  if (!stmt.order_by.empty()) {
+    bool all_input_ok = true;
+    std::vector<SortKey> keys_input;
+    for (const OrderByItem& ob : stmt.order_by) {
+      auto bound = BindExpr(*ob.expr, input_scope, &agg_state);
+      if (!bound.ok()) {
+        all_input_ok = false;
+        break;
+      }
+      SortKey key;
+      key.expr = bound.ConsumeValue();
+      key.desc = ob.desc;
+      keys_input.push_back(std::move(key));
+    }
+    if (all_input_ok) {
+      sort_keys = std::move(keys_input);
+    } else {
+      // Try the projection output schema (aliases).
+      for (const OrderByItem& ob : stmt.order_by) {
+        AggState none;
+        MT_ASSIGN_OR_RETURN(BExprPtr bound,
+                            BindExpr(*ob.expr, proj_schema, &none));
+        SortKey key;
+        key.expr = std::move(bound);
+        key.desc = ob.desc;
+        sort_keys.push_back(std::move(key));
+      }
+      sort_above_project = true;
+    }
+  }
+
+  // ---- Build the upper pipeline ----
+  if (has_agg) {
+    auto agg = std::make_unique<LogicalAggregate>();
+    Schema agg_schema;
+    for (const auto& g : group_by) {
+      const auto& ref = static_cast<const BoundColumnRef&>(*g);
+      ColumnInfo col = input_scope.column(ref.ordinal);
+      agg_schema.AddColumn(col);
+    }
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      ColumnInfo col;
+      col.name = "agg" + std::to_string(i);
+      TypeId t = aggs[i].func == AggFunc::kAvg ? TypeId::kDouble
+                 : aggs[i].arg ? aggs[i].arg->type
+                               : TypeId::kInt64;
+      if (aggs[i].func == AggFunc::kCount ||
+          aggs[i].func == AggFunc::kCountStar) {
+        t = TypeId::kInt64;
+      }
+      col.type = t;
+      agg_schema.AddColumn(std::move(col));
+    }
+    agg->group_by = std::move(group_by);
+    agg->aggs = std::move(aggs);
+    agg->schema = std::move(agg_schema);
+    agg->children.push_back(std::move(plan));
+    plan = std::move(agg);
+
+    if (having != nullptr) {
+      auto filter = std::make_unique<LogicalFilter>();
+      filter->predicate = std::move(having);
+      filter->schema = plan->schema;
+      filter->children.push_back(std::move(plan));
+      plan = std::move(filter);
+    }
+  }
+
+  if (!sort_keys.empty() && !sort_above_project) {
+    auto sort = std::make_unique<LogicalSort>();
+    sort->keys = std::move(sort_keys);
+    sort->schema = plan->schema;
+    sort->children.push_back(std::move(plan));
+    plan = std::move(sort);
+    sort_keys.clear();
+  }
+
+  auto project = std::make_unique<LogicalProject>();
+  project->exprs = std::move(proj_exprs);
+  project->schema = std::move(proj_schema);
+  project->children.push_back(std::move(plan));
+  plan = std::move(project);
+
+  if (stmt.distinct) {
+    auto distinct = std::make_unique<LogicalDistinct>();
+    distinct->schema = plan->schema;
+    distinct->children.push_back(std::move(plan));
+    plan = std::move(distinct);
+  }
+
+  if (!sort_keys.empty()) {  // sort_above_project
+    auto sort = std::make_unique<LogicalSort>();
+    sort->keys = std::move(sort_keys);
+    sort->schema = plan->schema;
+    sort->children.push_back(std::move(plan));
+    plan = std::move(sort);
+  }
+
+  if (stmt.top >= 0) {
+    auto limit = std::make_unique<LogicalLimit>();
+    limit->limit = stmt.top;
+    limit->schema = plan->schema;
+    limit->children.push_back(std::move(plan));
+    plan = std::move(limit);
+  }
+
+  // ---- UNION ALL continuation ----
+  if (stmt.union_next != nullptr) {
+    MT_ASSIGN_OR_RETURN(LogicalPtr next, BindSelect(*stmt.union_next));
+    if (next->schema.num_columns() != plan->schema.num_columns()) {
+      return Status::InvalidArgument("UNION ALL arity mismatch");
+    }
+    for (int i = 0; i < plan->schema.num_columns(); ++i) {
+      if (!Comparable(plan->schema.column(i).type,
+                      next->schema.column(i).type)) {
+        return Status::InvalidArgument(
+            "UNION ALL type mismatch in column " +
+            plan->schema.column(i).name);
+      }
+    }
+    auto union_all = std::make_unique<LogicalUnionAll>();
+    union_all->schema = plan->schema;
+    // Flatten right-nested unions into one n-ary node.
+    union_all->children.push_back(std::move(plan));
+    if (next->kind == LogicalKind::kUnionAll) {
+      for (auto& child : next->children) {
+        union_all->children.push_back(std::move(child));
+      }
+    } else {
+      union_all->children.push_back(std::move(next));
+    }
+    plan = std::move(union_all);
+  }
+
+  return plan;
+}
+
+StatusOr<BoundInsert> Binder::BindInsert(const InsertStmt& stmt) {
+  TableDef* def = catalog_->GetTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table not found: " + stmt.table);
+  }
+  MT_RETURN_IF_ERROR(CheckPrivilege(*def, Privilege::kInsert));
+  BoundInsert out;
+  out.table = def;
+  if (stmt.columns.empty()) {
+    for (int i = 0; i < def->schema.num_columns(); ++i) {
+      out.column_ordinals.push_back(i);
+    }
+  } else {
+    for (const std::string& col : stmt.columns) {
+      int ord = def->ColumnOrdinal(col);
+      if (ord < 0) {
+        return Status::InvalidArgument("unknown column: " + col);
+      }
+      out.column_ordinals.push_back(ord);
+    }
+  }
+  if (stmt.select != nullptr) {
+    MT_ASSIGN_OR_RETURN(out.select, BindSelect(*stmt.select));
+    if (out.select->schema.num_columns() !=
+        static_cast<int>(out.column_ordinals.size())) {
+      return Status::InvalidArgument("INSERT..SELECT arity mismatch");
+    }
+    return out;
+  }
+  Schema empty;
+  AggState none;
+  for (const auto& row : stmt.rows) {
+    if (row.size() != out.column_ordinals.size()) {
+      return Status::InvalidArgument("INSERT arity mismatch");
+    }
+    std::vector<BExprPtr> bound_row;
+    for (size_t i = 0; i < row.size(); ++i) {
+      MT_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*row[i], empty, &none));
+      TypeId want = def->schema.column(out.column_ordinals[i]).type;
+      if (!Comparable(bound->type, want)) {
+        return Status::InvalidArgument(
+            "type mismatch for column " +
+            def->schema.column(out.column_ordinals[i]).name);
+      }
+      bound_row.push_back(std::move(bound));
+    }
+    out.rows.push_back(std::move(bound_row));
+  }
+  return out;
+}
+
+StatusOr<BoundUpdate> Binder::BindUpdate(const UpdateStmt& stmt) {
+  TableDef* def = catalog_->GetTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table not found: " + stmt.table);
+  }
+  MT_RETURN_IF_ERROR(CheckPrivilege(*def, Privilege::kUpdate));
+  BoundUpdate out;
+  out.table = def;
+  Schema scope;
+  for (const ColumnInfo& col : def->schema.columns()) {
+    ColumnInfo copy = col;
+    copy.table = def->name;
+    scope.AddColumn(std::move(copy));
+  }
+  AggState none;
+  for (const auto& [col, expr] : stmt.sets) {
+    int ord = def->ColumnOrdinal(col);
+    if (ord < 0) {
+      return Status::InvalidArgument("unknown column: " + col);
+    }
+    MT_ASSIGN_OR_RETURN(BExprPtr bound, BindExpr(*expr, scope, &none));
+    if (!Comparable(bound->type, def->schema.column(ord).type)) {
+      return Status::InvalidArgument("type mismatch for column " + col);
+    }
+    out.sets.emplace_back(ord, std::move(bound));
+  }
+  if (stmt.where != nullptr) {
+    MT_ASSIGN_OR_RETURN(out.where, BindExpr(*stmt.where, scope, &none));
+  }
+  return out;
+}
+
+StatusOr<BoundDelete> Binder::BindDelete(const DeleteStmt& stmt) {
+  TableDef* def = catalog_->GetTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table not found: " + stmt.table);
+  }
+  MT_RETURN_IF_ERROR(CheckPrivilege(*def, Privilege::kDelete));
+  BoundDelete out;
+  out.table = def;
+  if (stmt.where != nullptr) {
+    Schema scope;
+    for (const ColumnInfo& col : def->schema.columns()) {
+      ColumnInfo copy = col;
+      copy.table = def->name;
+      scope.AddColumn(std::move(copy));
+    }
+    AggState none;
+    MT_ASSIGN_OR_RETURN(out.where, BindExpr(*stmt.where, scope, &none));
+  }
+  return out;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,86 @@
+#ifndef MTCACHE_BINDER_BINDER_H_
+#define MTCACHE_BINDER_BINDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "expr/bound_expr.h"
+#include "opt/logical.h"
+#include "sql/ast.h"
+
+namespace mtcache {
+
+/// Bound DML statements. The engine executes these directly against storage
+/// (or forwards them to the backend when the target table is a shadow).
+struct BoundInsert {
+  TableDef* table = nullptr;
+  std::vector<int> column_ordinals;            // target ordinals, schema order
+  std::vector<std::vector<BExprPtr>> rows;     // VALUES form
+  LogicalPtr select;                           // INSERT..SELECT form
+};
+
+struct BoundUpdate {
+  TableDef* table = nullptr;
+  std::vector<std::pair<int, BExprPtr>> sets;  // (column ordinal, value expr)
+  BExprPtr where;                              // over the table schema
+};
+
+struct BoundDelete {
+  TableDef* table = nullptr;
+  BExprPtr where;
+};
+
+/// Name resolution, permission checks, and type checking. Turns a SELECT
+/// AST into a logical plan and DML ASTs into bound forms. The binder only
+/// needs the *catalog* — on an MTCache server the shadow catalog makes all
+/// of this work locally even though the data is remote (§3).
+class Binder {
+ public:
+  /// Resolves an explicit linked-server qualifier (`server.table`) to that
+  /// server's catalog; returns null for unknown servers.
+  using LinkedCatalogResolver = std::function<Catalog*(const std::string&)>;
+
+  /// `catalog` must outlive the binder. `user` is checked against grants.
+  Binder(Catalog* catalog, std::string user,
+         LinkedCatalogResolver resolver = nullptr)
+      : catalog_(catalog), user_(std::move(user)),
+        resolver_(std::move(resolver)) {}
+
+  StatusOr<LogicalPtr> BindSelect(const SelectStmt& stmt);
+  StatusOr<BoundInsert> BindInsert(const InsertStmt& stmt);
+  StatusOr<BoundUpdate> BindUpdate(const UpdateStmt& stmt);
+  StatusOr<BoundDelete> BindDelete(const DeleteStmt& stmt);
+
+  /// Binds a scalar expression with no table scope (procedure SET/IF/DECLARE).
+  StatusOr<BExprPtr> BindScalar(const Expr& expr);
+
+ private:
+  struct AggState {
+    std::vector<BExprPtr>* group_by = nullptr;  // bound over input scope
+    std::vector<AggItem>* aggs = nullptr;       // collected aggregates
+    int num_groups = 0;
+    bool active = false;
+  };
+
+  StatusOr<BExprPtr> BindExpr(const Expr& expr, const Schema& scope,
+                              AggState* agg);
+  StatusOr<BExprPtr> BindColumn(const ColumnRefExpr& expr, const Schema& scope);
+  StatusOr<LogicalPtr> BindTableRef(const TableRef& ref);
+
+  Status CheckPrivilege(const TableDef& table, Privilege priv) const;
+
+  Catalog* catalog_;
+  std::string user_;
+  LinkedCatalogResolver resolver_;
+};
+
+/// True if any aggregate function appears in the (unbound) expression.
+bool HasAggregate(const Expr& expr);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_BINDER_BINDER_H_

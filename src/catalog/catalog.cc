@@ -1,0 +1,99 @@
+#include "catalog/catalog.h"
+
+namespace mtcache {
+
+int TableDef::FindIndex(const std::string& index_name) const {
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (indexes[i].name == index_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int TableDef::ColumnOrdinal(const std::string& column) const {
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    if (schema.column(i).name == column) return i;
+  }
+  return -1;
+}
+
+Status Catalog::CreateTable(TableDef def) {
+  if (tables_.count(def.name) > 0) {
+    return Status::AlreadyExists("table " + def.name + " already exists");
+  }
+  std::string name = def.name;
+  tables_[name] = std::make_unique<TableDef>(std::move(def));
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("table " + name + " does not exist");
+  }
+  return Status::Ok();
+}
+
+TableDef* Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const TableDef* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::CreateProcedure(ProcedureDef def) {
+  if (procedures_.count(def.name) > 0) {
+    return Status::AlreadyExists("procedure " + def.name + " already exists");
+  }
+  std::string name = def.name;
+  procedures_.emplace(name, std::move(def));
+  return Status::Ok();
+}
+
+Status Catalog::DropProcedure(const std::string& name) {
+  if (procedures_.erase(name) == 0) {
+    return Status::NotFound("procedure " + name + " does not exist");
+  }
+  return Status::Ok();
+}
+
+const ProcedureDef* Catalog::GetProcedure(const std::string& name) const {
+  auto it = procedures_.find(name);
+  return it == procedures_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Catalog::ProcedureNames() const {
+  std::vector<std::string> names;
+  names.reserve(procedures_.size());
+  for (const auto& [name, def] : procedures_) names.push_back(name);
+  return names;
+}
+
+std::vector<const TableDef*> Catalog::ViewsOver(
+    const std::string& base_table) const {
+  std::vector<const TableDef*> views;
+  for (const auto& [name, def] : tables_) {
+    if (def->view_def.has_value() && def->view_def->base_table == base_table) {
+      views.push_back(def.get());
+    }
+  }
+  return views;
+}
+
+bool Catalog::HasPrivilege(const TableDef& table, const std::string& user,
+                           Privilege priv) {
+  if (table.grants.empty()) return true;  // granted to public
+  auto it = table.grants.find(user);
+  if (it == table.grants.end()) return false;
+  return it->second.count(priv) > 0;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,39 @@
+#include "catalog/statistics.h"
+
+#include <algorithm>
+
+namespace mtcache {
+
+double ColumnStats::RangeLeSelectivity(double x) const {
+  if (!hist_bounds.empty()) {
+    // Equi-depth: each bucket carries 1/B of the rows. Count full buckets
+    // below x, then interpolate linearly inside the straddled bucket.
+    const double bucket_frac = 1.0 / hist_bounds.size();
+    double lo = min;
+    for (size_t i = 0; i < hist_bounds.size(); ++i) {
+      double hi = hist_bounds[i];
+      if (x >= hi) {
+        lo = hi;
+        continue;
+      }
+      double within = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+      within = std::clamp(within, 0.0, 1.0);
+      return std::clamp(i * bucket_frac + within * bucket_frac, 0.0, 1.0);
+    }
+    return 1.0;
+  }
+  if (max <= min) return x >= max ? 1.0 : 0.0;
+  double f = (x - min) / (max - min);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+double ColumnStats::RangeGeSelectivity(double x) const {
+  if (!hist_bounds.empty()) {
+    return std::clamp(1.0 - RangeLeSelectivity(x), 0.0, 1.0);
+  }
+  if (max <= min) return x <= min ? 1.0 : 0.0;
+  double f = (max - x) / (max - min);
+  return std::clamp(f, 0.0, 1.0);
+}
+
+}  // namespace mtcache

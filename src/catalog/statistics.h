@@ -1,0 +1,45 @@
+#ifndef MTCACHE_CATALOG_STATISTICS_H_
+#define MTCACHE_CATALOG_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+namespace mtcache {
+
+/// Per-column statistics used for cardinality estimation. Numeric columns
+/// use real min/max; strings are projected to doubles by Value::AsStatDouble
+/// so range selectivity is still monotone. When an equi-depth histogram is
+/// present, range selectivity interpolates within its buckets instead of
+/// assuming a uniform [min,max] — important for skewed columns.
+struct ColumnStats {
+  double min = 0;
+  double max = 0;
+  double ndv = 1;        // number of distinct values
+  double null_frac = 0;  // fraction of NULLs
+  /// Equi-depth histogram: ascending bucket upper bounds. Each of the
+  /// `hist_bounds.size()` buckets holds the same number of rows; the first
+  /// bucket spans [min, hist_bounds[0]]. Empty = no histogram.
+  std::vector<double> hist_bounds;
+
+  /// Selectivity of `col = literal` under uniformity within distinct values.
+  double EqSelectivity() const { return ndv > 0 ? 1.0 / ndv : 1.0; }
+  /// Selectivity of `col <= x`.
+  double RangeLeSelectivity(double x) const;
+  double RangeGeSelectivity(double x) const;
+};
+
+/// Per-table statistics. On an MTCache server these are *shadowed*: copied
+/// from the backend so the local optimizer costs plans as if it could see the
+/// backend data (§3: "all statistics on the shadow tables, indexes and
+/// materialized views reflect their state on the backend database").
+struct TableStats {
+  double row_count = 0;
+  double avg_row_bytes = 64;
+  std::vector<ColumnStats> columns;
+
+  bool empty() const { return columns.empty(); }
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_CATALOG_STATISTICS_H_

@@ -1,0 +1,23 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace mtcache {
+
+double Random::Exponential(double mean) {
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+std::string Random::AlphaString(int min_len, int max_len) {
+  int len = static_cast<int>(Uniform(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,50 @@
+#ifndef MTCACHE_COMMON_RANDOM_H_
+#define MTCACHE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mtcache {
+
+/// Deterministic pseudo-random generator (xorshift64*). All randomness in the
+/// system (data generation, workload mixes, simulation) flows through
+/// explicitly seeded Random instances so every experiment is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9E3779B97F4A7C15ULL : seed) {}
+
+  uint64_t NextU64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextU64() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (for think times).
+  double Exponential(double mean);
+
+  /// Random lowercase string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_RANDOM_H_

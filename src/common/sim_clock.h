@@ -1,0 +1,30 @@
+#ifndef MTCACHE_COMMON_SIM_CLOCK_H_
+#define MTCACHE_COMMON_SIM_CLOCK_H_
+
+namespace mtcache {
+
+/// Simulated wall clock, in seconds. The replication agents and the
+/// multi-server testbed never read real time; they are driven by whoever owns
+/// the clock (a test, an example, or the discrete-event simulator). This
+/// keeps every experiment deterministic.
+class SimClock {
+ public:
+  SimClock() : now_(0.0) {}
+
+  double Now() const { return now_; }
+
+  /// Moves time forward. Going backwards is a programming error and ignored.
+  void AdvanceTo(double t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(double dt) {
+    if (dt > 0) now_ += dt;
+  }
+
+ private:
+  double now_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_SIM_CLOCK_H_

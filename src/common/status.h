@@ -1,0 +1,119 @@
+#ifndef MTCACHE_COMMON_STATUS_H_
+#define MTCACHE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mtcache {
+
+/// Error codes used throughout the system. Modeled after the usual
+/// database-engine convention (RocksDB/absl): functions that can fail return
+/// a Status (or StatusOr<T>) instead of throwing; exceptions are not used.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kOutOfRange,
+  kNotImplemented,
+  kAborted,
+  kInternal,
+};
+
+/// A Status is a cheap value type carrying success or an error code plus a
+/// human-readable message. The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>", for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// StatusOr<T> carries either a value or a non-OK Status. Access to the value
+/// when the status is non-OK is a programming error (checked in debug).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+
+  /// Moves the contained value out; only valid when ok().
+  T ConsumeValue() { return std::move(*value_); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mtcache
+
+/// Propagates a non-OK Status to the caller.
+#define MT_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::mtcache::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+#define MT_STATUS_CONCAT_INNER_(x, y) x##y
+#define MT_STATUS_CONCAT_(x, y) MT_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates a StatusOr expression; on error propagates the Status, otherwise
+/// moves the value into `lhs` (which may include a declaration).
+#define MT_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto MT_STATUS_CONCAT_(_statusor_, __LINE__) = (expr);              \
+  if (!MT_STATUS_CONCAT_(_statusor_, __LINE__).ok())                  \
+    return MT_STATUS_CONCAT_(_statusor_, __LINE__).status();          \
+  lhs = std::move(MT_STATUS_CONCAT_(_statusor_, __LINE__)).ConsumeValue()
+
+#endif  // MTCACHE_COMMON_STATUS_H_

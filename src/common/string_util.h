@@ -1,0 +1,28 @@
+#ifndef MTCACHE_COMMON_STRING_UTIL_H_
+#define MTCACHE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtcache {
+
+/// ASCII lower-casing; SQL identifiers are case-insensitive and normalized to
+/// lower case everywhere in the catalog.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality, used for keyword matching in the lexer.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins the pieces with the separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// SQL LIKE pattern matching with '%' (any run) and '_' (any single char).
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Quotes a string as a SQL literal: abc -> 'abc', with '' doubling.
+std::string SqlQuote(std::string_view s);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,1167 @@
+#include "engine/server.h"
+
+#include "common/string_util.h"
+#include "engine/view_util.h"
+#include "opt/cost_model.h"
+#include "opt/view_matching.h"
+
+namespace mtcache {
+
+namespace {
+
+// Renders an expression list as SQL.
+std::string ExprListToSql(const std::vector<ExprPtr>& exprs) {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ExprToSql(*exprs[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string InsertToSql(const InsertStmt& stmt) {
+  std::string sql = "INSERT INTO " + stmt.table;
+  if (!stmt.columns.empty()) {
+    sql += " (";
+    for (size_t i = 0; i < stmt.columns.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += stmt.columns[i];
+    }
+    sql += ")";
+  }
+  sql += " VALUES ";
+  for (size_t r = 0; r < stmt.rows.size(); ++r) {
+    if (r > 0) sql += ", ";
+    sql += "(" + ExprListToSql(stmt.rows[r]) + ")";
+  }
+  return sql;
+}
+
+std::string UpdateToSql(const UpdateStmt& stmt) {
+  std::string sql = "UPDATE " + stmt.table + " SET ";
+  for (size_t i = 0; i < stmt.sets.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += stmt.sets[i].first + " = " + ExprToSql(*stmt.sets[i].second);
+  }
+  if (stmt.where != nullptr) sql += " WHERE " + ExprToSql(*stmt.where);
+  return sql;
+}
+
+std::string DeleteToSql(const DeleteStmt& stmt) {
+  std::string sql = "DELETE FROM " + stmt.table;
+  if (stmt.where != nullptr) sql += " WHERE " + ExprToSql(*stmt.where);
+  return sql;
+}
+
+Server::Server(ServerOptions options, SimClock* clock,
+               LinkedServerRegistry* links)
+    : options_(std::move(options)), clock_(clock), links_(links),
+      db_(options_.name + "_db", clock) {}
+
+void Server::set_optimizer_options(const OptimizerOptions& opts) {
+  options_.optimizer = opts;
+  InvalidatePlanCache();
+}
+
+void Server::InvalidatePlanCache() {
+  statement_plan_cache_.clear();
+  for (auto& [name, proc] : procedure_cache_) proc.plans.clear();
+}
+
+void Server::RecomputeStats() {
+  db_.RecomputeAllStats();
+  InvalidatePlanCache();
+}
+
+Binder Server::MakeBinder() {
+  Binder::LinkedCatalogResolver resolver;
+  if (links_ != nullptr) {
+    LinkedServerRegistry* links = links_;
+    resolver = [links](const std::string& name) -> Catalog* {
+      Server* server = links->Get(name);
+      return server != nullptr ? &server->db().catalog() : nullptr;
+    };
+  }
+  return Binder(&db_.catalog(), options_.default_user, std::move(resolver));
+}
+
+ExecContext Server::MakeContext(Session* session, ExecStats* stats) {
+  ExecContext ctx;
+  ctx.params = &session->vars;
+  ctx.now = db_.Now();
+  ctx.storage = &db_;
+  ctx.remote = this;
+  ctx.stats = stats;
+  return ctx;
+}
+
+Server::TxnScope Server::BeginScope(Session* session) {
+  TxnScope scope;
+  if (session->txn != nullptr && session->txn->active()) {
+    scope.txn = session->txn.get();
+    scope.auto_commit = false;
+  } else {
+    scope.auto_txn = db_.txn_manager().Begin();
+    scope.txn = scope.auto_txn.get();
+    scope.auto_commit = true;
+  }
+  return scope;
+}
+
+Status Server::EndScope(TxnScope* scope, Status status) {
+  if (scope->auto_commit) {
+    if (status.ok()) {
+      db_.txn_manager().Commit(scope->txn, db_.Now());
+    } else {
+      db_.txn_manager().Abort(scope->txn);
+    }
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+StatusOr<QueryResult> Server::Execute(const std::string& sql) {
+  ExecStats stats;
+  return Execute(sql, {}, &stats);
+}
+
+StatusOr<QueryResult> Server::Execute(const std::string& sql,
+                                      const ParamMap& params,
+                                      ExecStats* stats) {
+  MT_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, ParseSqlScript(sql));
+  Session session;
+  session.vars = params;
+  // Single-SELECT scripts use the statement plan cache keyed by SQL text.
+  if (stmts.size() == 1 && stmts[0]->kind == StmtKind::kSelect) {
+    if (stats != nullptr) stats->local_cost += CostModel::kStatementOverhead;
+    const auto& select = static_cast<const SelectStmt&>(*stmts[0]);
+    MT_ASSIGN_OR_RETURN(const CachedPlan* cached,
+                        PlanSelect(select, &session, nullptr, sql));
+    ExecContext ctx = MakeContext(&session, stats);
+    MT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*cached->plan, &ctx));
+    if (!select.into_vars.empty()) {
+      QueryResult empty;
+      return empty;
+    }
+    return result;
+  }
+  Status status = ExecuteStmtList(stmts, &session, stats, nullptr);
+  if (!status.ok()) return status;
+  if (session.has_result) return std::move(session.result);
+  QueryResult result;
+  result.rows_affected = session.result.rows_affected;
+  return result;
+}
+
+Status Server::ExecuteScript(const std::string& sql) {
+  ExecStats stats;
+  auto result = Execute(sql, {}, &stats);
+  return result.status();
+}
+
+StatusOr<QueryResult> Server::CallProcedure(const std::string& name,
+                                            const std::vector<Value>& args,
+                                            ExecStats* stats) {
+  ExecStmt stmt;
+  stmt.procedure = ToLower(name);
+  for (const Value& v : args) {
+    stmt.args.push_back(std::make_unique<LiteralExpr>(v));
+  }
+  Session session;
+  if (stats != nullptr) stats->local_cost += CostModel::kStatementOverhead;
+  MT_RETURN_IF_ERROR(ExecExec(stmt, &session, stats));
+  if (session.has_result) return std::move(session.result);
+  QueryResult result;
+  result.rows_affected = session.result.rows_affected;
+  return result;
+}
+
+StatusOr<OptimizeResult> Server::Explain(const std::string& sql) {
+  MT_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("EXPLAIN supports only SELECT");
+  }
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(select));
+  OptimizerOptions opts = options_.optimizer;
+  if (select.max_staleness >= 0) {
+    opts.max_staleness = select.max_staleness;
+    opts.current_time = db_.Now();
+  }
+  Optimizer optimizer(&db_.catalog(), opts);
+  return optimizer.Optimize(*logical);
+}
+
+StatusOr<QueryResult> Server::ExecuteRemote(const std::string& server_name,
+                                            const std::string& sql,
+                                            const ParamMap& params,
+                                            ExecStats* stats) {
+  if (links_ == nullptr) {
+    return Status::InvalidArgument("no linked servers configured");
+  }
+  Server* target = links_->Get(server_name);
+  if (target == nullptr) {
+    return Status::NotFound("unknown linked server: " + server_name);
+  }
+  ExecStats callee;
+  MT_ASSIGN_OR_RETURN(QueryResult result,
+                      target->Execute(sql, params, &callee));
+  if (stats != nullptr) {
+    stats->remote_cost += callee.local_cost + callee.remote_cost;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Statement dispatch
+// ---------------------------------------------------------------------------
+
+Status Server::ExecuteStmtList(const std::vector<StmtPtr>& stmts,
+                               Session* session, ExecStats* stats,
+                               CompiledProcedure* proc) {
+  for (const StmtPtr& stmt : stmts) {
+    Status status = ExecuteStmt(*stmt, session, stats, proc);
+    if (!status.ok()) {
+      // An error aborts any open explicit transaction (T-SQL-ish).
+      if (session->txn != nullptr && session->txn->active()) {
+        db_.txn_manager().Abort(session->txn.get());
+        session->txn.reset();
+      }
+      return status;
+    }
+    if (session->return_requested) break;
+  }
+  return Status::Ok();
+}
+
+Status Server::ExecuteStmt(const Stmt& stmt, Session* session,
+                           ExecStats* stats, CompiledProcedure* proc) {
+  // Per-statement engine overhead: parsing/binding/plan-cache lookup and
+  // connection protocol work.
+  if (stats != nullptr) stats->local_cost += CostModel::kStatementOverhead;
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+      return ExecSelect(static_cast<const SelectStmt&>(stmt), session, stats,
+                        proc);
+    case StmtKind::kInsert:
+      return ExecInsert(static_cast<const InsertStmt&>(stmt), session, stats);
+    case StmtKind::kUpdate:
+      return ExecUpdate(static_cast<const UpdateStmt&>(stmt), session, stats);
+    case StmtKind::kDelete:
+      return ExecDelete(static_cast<const DeleteStmt&>(stmt), session, stats);
+    case StmtKind::kCreateTable:
+      return ExecCreateTable(static_cast<const CreateTableStmt&>(stmt));
+    case StmtKind::kCreateIndex:
+      return ExecCreateIndex(static_cast<const CreateIndexStmt&>(stmt));
+    case StmtKind::kCreateView:
+      return ExecCreateView(static_cast<const CreateViewStmt&>(stmt), session,
+                            stats);
+    case StmtKind::kCreateProcedure:
+      return ExecCreateProcedure(
+          static_cast<const CreateProcedureStmt&>(stmt));
+    case StmtKind::kDrop:
+      return ExecDrop(static_cast<const DropStmt&>(stmt));
+    case StmtKind::kGrant:
+      return ExecGrant(static_cast<const GrantStmt&>(stmt));
+    case StmtKind::kExplain:
+      return ExecExplain(static_cast<const ExplainStmt&>(stmt), session);
+    case StmtKind::kExec:
+      return ExecExec(static_cast<const ExecStmt&>(stmt), session, stats);
+    case StmtKind::kDeclare: {
+      const auto& declare = static_cast<const DeclareStmt&>(stmt);
+      Value init = Value::TypedNull(declare.type);
+      if (declare.init != nullptr) {
+        Binder binder = MakeBinder();
+        MT_ASSIGN_OR_RETURN(BExprPtr bound, binder.BindScalar(*declare.init));
+        ExecContext ctx = MakeContext(session, stats);
+        MT_ASSIGN_OR_RETURN(init, EvalBound(*bound, nullptr, ctx.Eval()));
+      }
+      session->vars[declare.var] = std::move(init);
+      return Status::Ok();
+    }
+    case StmtKind::kSetVar: {
+      const auto& set = static_cast<const SetVarStmt&>(stmt);
+      Binder binder = MakeBinder();
+      MT_ASSIGN_OR_RETURN(BExprPtr bound, binder.BindScalar(*set.value));
+      ExecContext ctx = MakeContext(session, stats);
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*bound, nullptr, ctx.Eval()));
+      session->vars[set.var] = std::move(v);
+      return Status::Ok();
+    }
+    case StmtKind::kIf:
+      return ExecIf(static_cast<const IfStmt&>(stmt), session, stats, proc);
+    case StmtKind::kWhile: {
+      const auto& loop = static_cast<const WhileStmt&>(stmt);
+      Binder binder = MakeBinder();
+      MT_ASSIGN_OR_RETURN(BExprPtr cond, binder.BindScalar(*loop.condition));
+      constexpr int kMaxIterations = 1000000;  // runaway-loop backstop
+      for (int i = 0; ; ++i) {
+        if (i >= kMaxIterations) {
+          return Status::Aborted("WHILE exceeded the iteration limit");
+        }
+        ExecContext ctx = MakeContext(session, stats);
+        MT_ASSIGN_OR_RETURN(bool pass,
+                            EvalPredicate(*cond, nullptr, ctx.Eval()));
+        if (!pass) break;
+        MT_RETURN_IF_ERROR(ExecuteStmtList(loop.body, session, stats, proc));
+        if (session->return_requested) break;
+      }
+      return Status::Ok();
+    }
+    case StmtKind::kReturn:
+      session->return_requested = true;
+      return Status::Ok();
+    case StmtKind::kBeginTxn:
+      if (session->txn != nullptr && session->txn->active()) {
+        return Status::InvalidArgument("transaction already open");
+      }
+      session->txn = db_.txn_manager().Begin();
+      return Status::Ok();
+    case StmtKind::kCommitTxn:
+      if (session->txn == nullptr || !session->txn->active()) {
+        return Status::InvalidArgument("no open transaction to commit");
+      }
+      db_.txn_manager().Commit(session->txn.get(), db_.Now());
+      session->txn.reset();
+      return Status::Ok();
+    case StmtKind::kRollbackTxn:
+      if (session->txn == nullptr || !session->txn->active()) {
+        return Status::InvalidArgument("no open transaction to roll back");
+      }
+      db_.txn_manager().Abort(session->txn.get());
+      session->txn.reset();
+      return Status::Ok();
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+StatusOr<const Server::CachedPlan*> Server::PlanSelect(
+    const SelectStmt& stmt, Session* session, CompiledProcedure* proc,
+    const std::string& cache_key) {
+  (void)session;
+  // Queries with a freshness requirement (§7 extension) are not cacheable:
+  // whether a cached view qualifies depends on its staleness *now*.
+  bool cacheable = stmt.max_staleness < 0;
+  // Procedure-body statements cache by statement identity; ad-hoc statements
+  // by SQL text.
+  if (cacheable && proc != nullptr) {
+    auto it = proc->plans.find(&stmt);
+    if (it != proc->plans.end()) {
+      ++plan_cache_stats_.hits;
+      return &it->second;
+    }
+  } else if (cacheable && !cache_key.empty()) {
+    auto it = statement_plan_cache_.find(cache_key);
+    if (it != statement_plan_cache_.end()) {
+      ++plan_cache_stats_.hits;
+      return &it->second;
+    }
+  }
+  ++plan_cache_stats_.misses;
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
+  OptimizerOptions opts = options_.optimizer;
+  if (stmt.max_staleness >= 0) {
+    opts.max_staleness = stmt.max_staleness;
+    opts.current_time = db_.Now();
+  }
+  Optimizer optimizer(&db_.catalog(), opts);
+  MT_ASSIGN_OR_RETURN(OptimizeResult optimized, optimizer.Optimize(*logical));
+  CachedPlan cached;
+  cached.schema = optimized.plan->schema;
+  cached.plan = std::move(optimized.plan);
+  if (cacheable && proc != nullptr) {
+    auto [it, inserted] = proc->plans.emplace(&stmt, std::move(cached));
+    return &it->second;
+  }
+  if (cacheable && !cache_key.empty()) {
+    auto [it, inserted] =
+        statement_plan_cache_.emplace(cache_key, std::move(cached));
+    return &it->second;
+  }
+  // Uncachable: stash under a rotating key so the pointer stays alive for
+  // this call only.
+  statement_plan_cache_["#uncached"] = std::move(cached);
+  return &statement_plan_cache_["#uncached"];
+}
+
+Status Server::ExecSelect(const SelectStmt& stmt, Session* session,
+                          ExecStats* stats, CompiledProcedure* proc) {
+  MT_ASSIGN_OR_RETURN(const CachedPlan* cached,
+                      PlanSelect(stmt, session, proc, ""));
+  ExecContext ctx = MakeContext(session, stats);
+  MT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*cached->plan, &ctx));
+  if (!stmt.into_vars.empty()) {
+    // Scalar assignment: bind the first row's values to the variables. With
+    // no rows the variables keep their previous values (T-SQL semantics).
+    if (!result.rows.empty()) {
+      for (size_t i = 0; i < stmt.into_vars.size(); ++i) {
+        if (stmt.into_vars[i].empty()) continue;
+        session->vars[stmt.into_vars[i]] = result.rows[0][i];
+      }
+    }
+    return Status::Ok();
+  }
+  session->result = std::move(result);
+  session->has_result = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+StatusOr<RowId> Server::InsertRow(StoredTable* table, const Row& row,
+                                  Transaction* txn, ExecStats* stats) {
+  MT_ASSIGN_OR_RETURN(RowId rid, table->Insert(row, txn));
+  if (stats != nullptr) {
+    stats->local_cost +=
+        CostModel::kInsertRowCost +
+        table->def().indexes.size() * CostModel::kIndexMaintRowCost;
+  }
+  MT_RETURN_IF_ERROR(MaintainViews(table->def(), LogRecordType::kInsert, {},
+                                   row, txn, stats));
+  return rid;
+}
+
+Status Server::DeleteRow(StoredTable* table, RowId rid, Transaction* txn,
+                         ExecStats* stats) {
+  Row before = table->heap().Get(rid);
+  MT_RETURN_IF_ERROR(table->Delete(rid, txn));
+  if (stats != nullptr) {
+    stats->local_cost +=
+        CostModel::kDeleteRowCost +
+        table->def().indexes.size() * CostModel::kIndexMaintRowCost;
+  }
+  return MaintainViews(table->def(), LogRecordType::kDelete, before, {}, txn,
+                       stats);
+}
+
+Status Server::UpdateRow(StoredTable* table, RowId rid, const Row& new_row,
+                         Transaction* txn, ExecStats* stats) {
+  Row before = table->heap().Get(rid);
+  MT_RETURN_IF_ERROR(table->Update(rid, new_row, txn));
+  if (stats != nullptr) {
+    stats->local_cost +=
+        CostModel::kUpdateRowCost +
+        table->def().indexes.size() * CostModel::kIndexMaintRowCost;
+  }
+  return MaintainViews(table->def(), LogRecordType::kUpdate, before, new_row,
+                       txn, stats);
+}
+
+namespace {
+
+// Locates a view row whose primary-key columns equal `key` (values in view
+// pk order). Returns -1 when absent.
+RowId FindViewRowByKey(StoredTable* view, const Row& key) {
+  if (!view->def().indexes.empty() && view->def().indexes[0].unique) {
+    for (auto it = view->index(0).SeekGe(key);
+         it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
+         it.Next()) {
+      if (view->heap().IsLive(it.rowid())) return it.rowid();
+    }
+    return -1;
+  }
+  // Fallback: linear scan on pk columns.
+  const std::vector<int>& pk = view->def().primary_key;
+  for (RowId rid = 0; rid < view->heap().slot_count(); ++rid) {
+    if (!view->heap().IsLive(rid)) continue;
+    const Row& row = view->heap().Get(rid);
+    bool match = true;
+    for (size_t i = 0; i < pk.size(); ++i) {
+      if (row[pk[i]].Compare(key[i]) != 0) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return rid;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status Server::MaintainViews(const TableDef& base, LogRecordType op,
+                             const Row& before, const Row& after,
+                             Transaction* txn, ExecStats* stats) {
+  for (const TableDef* view_def : db_.catalog().ViewsOver(base.name)) {
+    // Only regular materialized views are maintained synchronously; cached
+    // views are maintained asynchronously by replication (§3).
+    if (view_def->kind != RelationKind::kMaterializedView) continue;
+    StoredTable* view = db_.GetStoredTable(view_def->name);
+    if (view == nullptr) continue;
+    const SelectProjectDef& def = *view_def->view_def;
+
+    std::vector<int> pred_cols;
+    for (const SimplePredicate& pred : def.predicates) {
+      pred_cols.push_back(base.ColumnOrdinal(pred.column));
+    }
+    auto project = [&](const Row& row) {
+      Row out;
+      for (const std::string& col : def.columns) {
+        out.push_back(row[base.ColumnOrdinal(col)]);
+      }
+      return out;
+    };
+    auto key_of = [&](const Row& row) {
+      Row key;
+      for (int pk_view_ord : view_def->primary_key) {
+        int base_ord = base.ColumnOrdinal(def.columns[pk_view_ord]);
+        key.push_back(row[base_ord]);
+      }
+      return key;
+    };
+    if (stats != nullptr) stats->local_cost += CostModel::kApplyRecordCost;
+
+    bool before_in = op != LogRecordType::kInsert &&
+                     def.RowMatches(pred_cols, before);
+    bool after_in = op != LogRecordType::kDelete &&
+                    def.RowMatches(pred_cols, after);
+    if (op == LogRecordType::kInsert) before_in = false;
+    if (op == LogRecordType::kDelete) after_in = false;
+
+    if (!before_in && after_in) {
+      MT_RETURN_IF_ERROR(view->Insert(project(after), txn).status());
+    } else if (before_in && !after_in) {
+      RowId rid = FindViewRowByKey(view, key_of(before));
+      if (rid >= 0) MT_RETURN_IF_ERROR(view->Delete(rid, txn));
+    } else if (before_in && after_in) {
+      RowId rid = FindViewRowByKey(view, key_of(before));
+      if (rid >= 0) {
+        MT_RETURN_IF_ERROR(view->Update(rid, project(after), txn));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
+                                                      const BoundExpr* where,
+                                                      Session* session,
+                                                      ExecStats* stats) {
+  ExecContext ctx = MakeContext(session, stats);
+  std::vector<RowId> out;
+
+  // Try an index: longest all-equality prefix wins.
+  int best_index = -1;
+  size_t best_prefix = 0;
+  std::vector<SimpleConjunct> simple;
+  if (where != nullptr) {
+    std::vector<const BoundExpr*> conjuncts;
+    CollectConjuncts(*where, &conjuncts);
+    for (const BoundExpr* c : conjuncts) {
+      SimpleConjunct sc;
+      if (ExtractSimpleConjunct(*c, &sc) && sc.op == CompareOp::kEq) {
+        simple.push_back(sc);
+      }
+    }
+    const TableDef& def = table->def();
+    for (size_t i = 0; i < def.indexes.size(); ++i) {
+      size_t prefix = 0;
+      for (int col : def.indexes[i].key_columns) {
+        bool found = false;
+        for (const SimpleConjunct& sc : simple) {
+          if (sc.column == col) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) break;
+        ++prefix;
+      }
+      if (prefix > best_prefix) {
+        best_prefix = prefix;
+        best_index = static_cast<int>(i);
+      }
+    }
+  }
+
+  EvalContext eval = ctx.Eval();
+  auto row_matches = [&](const Row& row) -> StatusOr<bool> {
+    if (where == nullptr) return true;
+    return EvalPredicate(*where, &row, eval);
+  };
+
+  if (best_index >= 0) {
+    const TableDef& def = table->def();
+    Row prefix_key;
+    for (size_t k = 0; k < best_prefix; ++k) {
+      int col = def.indexes[best_index].key_columns[k];
+      for (const SimpleConjunct& sc : simple) {
+        if (sc.column != col) continue;
+        const auto& bin = static_cast<const BoundBinary&>(*sc.source);
+        const BoundExpr* rhs = bin.left->kind == BoundExprKind::kColumnRef
+                                   ? bin.right.get()
+                                   : bin.left.get();
+        MT_ASSIGN_OR_RETURN(Value v, EvalBound(*rhs, nullptr, eval));
+        prefix_key.push_back(std::move(v));
+        break;
+      }
+    }
+    if (stats != nullptr) stats->local_cost += CostModel::kIndexSeekCost;
+    for (auto it = table->index(best_index).SeekGe(prefix_key);
+         it.Valid() && BPlusTree::ComparePrefix(it.key(), prefix_key) == 0;
+         it.Next()) {
+      if (!table->heap().IsLive(it.rowid())) continue;
+      if (stats != nullptr) stats->local_cost += CostModel::kIndexRowCost;
+      MT_ASSIGN_OR_RETURN(bool match, row_matches(table->heap().Get(it.rowid())));
+      if (match) out.push_back(it.rowid());
+    }
+    return out;
+  }
+
+  for (RowId rid = 0; rid < table->heap().slot_count(); ++rid) {
+    if (!table->heap().IsLive(rid)) continue;
+    if (stats != nullptr) stats->local_cost += CostModel::kSeqRowCost;
+    MT_ASSIGN_OR_RETURN(bool match, row_matches(table->heap().Get(rid)));
+    if (match) out.push_back(rid);
+  }
+  return out;
+}
+
+Status Server::ForwardDml(const TableDef& table, const std::string& sql,
+                          Session* session, ExecStats* stats) {
+  const std::string& backend = !table.home_server.empty()
+                                   ? table.home_server
+                                   : options_.optimizer.backend_server;
+  if (backend.empty() || links_ == nullptr) {
+    return Status::InvalidArgument(
+        "cannot forward DML: no backend server linked");
+  }
+  MT_ASSIGN_OR_RETURN(QueryResult result,
+                      ExecuteRemote(backend, sql, session->vars, stats));
+  session->result.rows_affected = result.rows_affected;
+  return Status::Ok();
+}
+
+Status Server::ExecInsert(const InsertStmt& stmt, Session* session,
+                          ExecStats* stats) {
+  if (!stmt.server.empty()) {
+    MT_ASSIGN_OR_RETURN(QueryResult result,
+                        ExecuteRemote(stmt.server, InsertToSql(stmt),
+                                      session->vars, stats));
+    session->result.rows_affected = result.rows_affected;
+    return Status::Ok();
+  }
+  TableDef* def = db_.catalog().GetTable(stmt.table);
+  if (def != nullptr && def->shadow) {
+    return ForwardDml(*def, InsertToSql(stmt), session, stats);
+  }
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(BoundInsert bound, binder.BindInsert(stmt));
+  StoredTable* table = db_.GetStoredTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no storage for table " + stmt.table);
+  }
+
+  TxnScope scope = BeginScope(session);
+  Status status = Status::Ok();
+  int64_t inserted = 0;
+  ExecContext ctx = MakeContext(session, stats);
+
+  auto insert_values_row = [&](const std::vector<Value>& values) -> Status {
+    Row row(def->schema.num_columns(), Value::Null());
+    for (int i = 0; i < def->schema.num_columns(); ++i) {
+      row[i] = Value::TypedNull(def->schema.column(i).type);
+    }
+    for (size_t i = 0; i < bound.column_ordinals.size(); ++i) {
+      row[bound.column_ordinals[i]] = values[i];
+    }
+    for (int i = 0; i < def->schema.num_columns(); ++i) {
+      if (!def->schema.column(i).nullable && row[i].is_null()) {
+        return Status::InvalidArgument("NULL in NOT NULL column " +
+                                       def->schema.column(i).name);
+      }
+    }
+    MT_RETURN_IF_ERROR(InsertRow(table, row, scope.txn, stats).status());
+    ++inserted;
+    return Status::Ok();
+  };
+
+  if (bound.select != nullptr) {
+    Optimizer optimizer(&db_.catalog(), options_.optimizer);
+    auto optimized = optimizer.Optimize(*bound.select);
+    if (!optimized.ok()) {
+      status = optimized.status();
+    } else {
+      auto result = ExecutePlan(*optimized->plan, &ctx);
+      if (!result.ok()) {
+        status = result.status();
+      } else {
+        for (const Row& row : result->rows) {
+          status = insert_values_row(row);
+          if (!status.ok()) break;
+        }
+      }
+    }
+  } else {
+    for (const auto& expr_row : bound.rows) {
+      std::vector<Value> values;
+      for (const BExprPtr& e : expr_row) {
+        auto v = EvalBound(*e, nullptr, ctx.Eval());
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        values.push_back(v.ConsumeValue());
+      }
+      if (!status.ok()) break;
+      status = insert_values_row(values);
+      if (!status.ok()) break;
+    }
+  }
+  MT_RETURN_IF_ERROR(EndScope(&scope, status));
+  session->result.rows_affected = inserted;
+  return Status::Ok();
+}
+
+Status Server::ExecUpdate(const UpdateStmt& stmt, Session* session,
+                          ExecStats* stats) {
+  if (!stmt.server.empty()) {
+    MT_ASSIGN_OR_RETURN(QueryResult result,
+                        ExecuteRemote(stmt.server, UpdateToSql(stmt),
+                                      session->vars, stats));
+    session->result.rows_affected = result.rows_affected;
+    return Status::Ok();
+  }
+  TableDef* def = db_.catalog().GetTable(stmt.table);
+  if (def != nullptr && def->shadow) {
+    return ForwardDml(*def, UpdateToSql(stmt), session, stats);
+  }
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(BoundUpdate bound, binder.BindUpdate(stmt));
+  StoredTable* table = db_.GetStoredTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no storage for table " + stmt.table);
+  }
+
+  TxnScope scope = BeginScope(session);
+  Status status = Status::Ok();
+  int64_t updated = 0;
+  ExecContext ctx = MakeContext(session, stats);
+  auto rows = FindMatchingRows(table, bound.where.get(), session, stats);
+  if (!rows.ok()) {
+    status = rows.status();
+  } else {
+    for (RowId rid : *rows) {
+      Row old_row = table->heap().Get(rid);
+      Row new_row = old_row;
+      for (const auto& [ord, expr] : bound.sets) {
+        auto v = EvalBound(*expr, &old_row, ctx.Eval());
+        if (!v.ok()) {
+          status = v.status();
+          break;
+        }
+        new_row[ord] = v.ConsumeValue();
+      }
+      if (!status.ok()) break;
+      status = UpdateRow(table, rid, new_row, scope.txn, stats);
+      if (!status.ok()) break;
+      ++updated;
+    }
+  }
+  MT_RETURN_IF_ERROR(EndScope(&scope, status));
+  session->result.rows_affected = updated;
+  return Status::Ok();
+}
+
+Status Server::ExecDelete(const DeleteStmt& stmt, Session* session,
+                          ExecStats* stats) {
+  if (!stmt.server.empty()) {
+    MT_ASSIGN_OR_RETURN(QueryResult result,
+                        ExecuteRemote(stmt.server, DeleteToSql(stmt),
+                                      session->vars, stats));
+    session->result.rows_affected = result.rows_affected;
+    return Status::Ok();
+  }
+  TableDef* def = db_.catalog().GetTable(stmt.table);
+  if (def != nullptr && def->shadow) {
+    return ForwardDml(*def, DeleteToSql(stmt), session, stats);
+  }
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(BoundDelete bound, binder.BindDelete(stmt));
+  StoredTable* table = db_.GetStoredTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("no storage for table " + stmt.table);
+  }
+
+  TxnScope scope = BeginScope(session);
+  Status status = Status::Ok();
+  int64_t deleted = 0;
+  auto rows = FindMatchingRows(table, bound.where.get(), session, stats);
+  if (!rows.ok()) {
+    status = rows.status();
+  } else {
+    for (RowId rid : *rows) {
+      status = DeleteRow(table, rid, scope.txn, stats);
+      if (!status.ok()) break;
+      ++deleted;
+    }
+  }
+  MT_RETURN_IF_ERROR(EndScope(&scope, status));
+  session->result.rows_affected = deleted;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Status Server::ExecCreateTable(const CreateTableStmt& stmt) {
+  TableDef def;
+  def.name = stmt.table;
+  std::vector<std::string> pk = stmt.primary_key;
+  for (const ColumnDefAst& col : stmt.columns) {
+    ColumnInfo info;
+    info.name = col.name;
+    info.type = col.type;
+    info.table = stmt.table;
+    info.nullable = !col.not_null;
+    def.schema.AddColumn(std::move(info));
+    if (col.primary_key) pk.push_back(col.name);
+  }
+  for (const std::string& col : pk) {
+    int ord = -1;
+    for (int i = 0; i < def.schema.num_columns(); ++i) {
+      if (def.schema.column(i).name == col) {
+        ord = i;
+        break;
+      }
+    }
+    if (ord < 0) {
+      return Status::InvalidArgument("unknown primary key column: " + col);
+    }
+    def.primary_key.push_back(ord);
+  }
+  if (!def.primary_key.empty()) {
+    def.indexes.push_back(IndexDef{stmt.table + "_pk", def.primary_key, true});
+  }
+  MT_RETURN_IF_ERROR(db_.CreateTable(std::move(def)));
+  InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status Server::ExecCreateIndex(const CreateIndexStmt& stmt) {
+  TableDef* def = db_.catalog().GetTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table not found: " + stmt.table);
+  }
+  if (def->FindIndex(stmt.index) >= 0) {
+    return Status::AlreadyExists("index already exists: " + stmt.index);
+  }
+  IndexDef index;
+  index.name = stmt.index;
+  index.unique = stmt.unique;
+  for (const std::string& col : stmt.columns) {
+    int ord = def->ColumnOrdinal(col);
+    if (ord < 0) {
+      return Status::InvalidArgument("unknown column: " + col);
+    }
+    index.key_columns.push_back(ord);
+  }
+  def->indexes.push_back(std::move(index));
+  StoredTable* table = db_.GetStoredTable(stmt.table);
+  if (table != nullptr) table->AddIndex();
+  InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status Server::ExecCreateView(const CreateViewStmt& stmt, Session* session,
+                              ExecStats* stats) {
+  if (stmt.cached) {
+    if (cached_view_handler_ == nullptr) {
+      return Status::InvalidArgument(
+          "CREATE CACHED MATERIALIZED VIEW requires an MTCache configuration");
+    }
+    Status status = cached_view_handler_(this, stmt);
+    if (status.ok()) InvalidatePlanCache();
+    return status;
+  }
+  // Regular (synchronously maintained) materialized view.
+  if (stmt.select->from.empty()) {
+    return Status::InvalidArgument("view must select from a table");
+  }
+  TableDef* base = db_.catalog().GetTable(stmt.select->from[0].name);
+  if (base == nullptr) {
+    return Status::NotFound("base table not found: " +
+                            stmt.select->from[0].name);
+  }
+  MT_ASSIGN_OR_RETURN(SelectProjectDef def,
+                      BuildSelectProjectDef(*stmt.select, *base));
+  MT_ASSIGN_OR_RETURN(
+      TableDef view_def,
+      MakeViewTableDef(stmt.view, *base, def, RelationKind::kMaterializedView));
+  MT_RETURN_IF_ERROR(db_.CreateTable(std::move(view_def)));
+  // Populate from the base table.
+  StoredTable* base_table = db_.GetStoredTable(base->name);
+  StoredTable* view_table = db_.GetStoredTable(stmt.view);
+  if (base_table != nullptr && view_table != nullptr) {
+    std::vector<int> pred_cols;
+    for (const SimplePredicate& pred : def.predicates) {
+      pred_cols.push_back(base->ColumnOrdinal(pred.column));
+    }
+    TxnScope scope = BeginScope(session);
+    Status status = Status::Ok();
+    for (RowId rid = 0; rid < base_table->heap().slot_count(); ++rid) {
+      if (!base_table->heap().IsLive(rid)) continue;
+      const Row& row = base_table->heap().Get(rid);
+      if (stats != nullptr) stats->local_cost += CostModel::kSeqRowCost;
+      if (!def.RowMatches(pred_cols, row)) continue;
+      Row projected;
+      for (const std::string& col : def.columns) {
+        projected.push_back(row[base->ColumnOrdinal(col)]);
+      }
+      auto inserted = view_table->Insert(projected, scope.txn);
+      if (!inserted.ok()) {
+        status = inserted.status();
+        break;
+      }
+    }
+    MT_RETURN_IF_ERROR(EndScope(&scope, status));
+    view_table->RecomputeStats();
+  }
+  InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status Server::ExecCreateProcedure(const CreateProcedureStmt& stmt) {
+  // Validate the body parses now, so errors surface at CREATE time.
+  MT_ASSIGN_OR_RETURN(std::vector<StmtPtr> body,
+                      ParseSqlScript(stmt.body_source));
+  (void)body;
+  ProcedureDef def;
+  def.name = stmt.name;
+  def.params = stmt.params;
+  def.body_source = stmt.body_source;
+  MT_RETURN_IF_ERROR(db_.catalog().CreateProcedure(std::move(def)));
+  procedure_cache_.erase(stmt.name);
+  return Status::Ok();
+}
+
+Status Server::ExecDrop(const DropStmt& stmt) {
+  switch (stmt.what) {
+    case DropKind::kTable: {
+      TableDef* def = db_.catalog().GetTable(stmt.name);
+      if (def == nullptr) {
+        return Status::NotFound("table not found: " + stmt.name);
+      }
+      if (def->view_def.has_value()) {
+        return Status::InvalidArgument(
+            stmt.name + " is a view; use DROP MATERIALIZED VIEW");
+      }
+      if (!db_.catalog().ViewsOver(stmt.name).empty()) {
+        return Status::InvalidArgument(
+            "cannot drop " + stmt.name + ": materialized views depend on it");
+      }
+      MT_RETURN_IF_ERROR(db_.DropTable(stmt.name));
+      break;
+    }
+    case DropKind::kView: {
+      TableDef* def = db_.catalog().GetTable(stmt.name);
+      if (def == nullptr || !def->view_def.has_value()) {
+        return Status::NotFound("view not found: " + stmt.name);
+      }
+      if (def->kind == RelationKind::kCachedView) {
+        if (cached_view_drop_handler_ == nullptr) {
+          return Status::InvalidArgument(
+              "dropping a cached view requires an MTCache configuration");
+        }
+        MT_RETURN_IF_ERROR(cached_view_drop_handler_(this, stmt.name));
+      } else {
+        MT_RETURN_IF_ERROR(db_.DropTable(stmt.name));
+      }
+      break;
+    }
+    case DropKind::kIndex: {
+      TableDef* def = db_.catalog().GetTable(stmt.table);
+      if (def == nullptr) {
+        return Status::NotFound("table not found: " + stmt.table);
+      }
+      int ordinal = def->FindIndex(stmt.name);
+      if (ordinal < 0) {
+        return Status::NotFound("index not found: " + stmt.name);
+      }
+      def->indexes.erase(def->indexes.begin() + ordinal);
+      StoredTable* table = db_.GetStoredTable(stmt.table);
+      if (table != nullptr) table->RemoveIndex(ordinal);
+      break;
+    }
+    case DropKind::kProcedure: {
+      MT_RETURN_IF_ERROR(db_.catalog().DropProcedure(stmt.name));
+      procedure_cache_.erase(stmt.name);
+      break;
+    }
+  }
+  InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status Server::ExecGrant(const GrantStmt& stmt) {
+  TableDef* def = db_.catalog().GetTable(stmt.table);
+  if (def == nullptr) {
+    return Status::NotFound("table not found: " + stmt.table);
+  }
+  std::set<Privilege> privs;
+  for (const std::string& p : stmt.privileges) {
+    if (p == "select") {
+      privs.insert(Privilege::kSelect);
+    } else if (p == "insert") {
+      privs.insert(Privilege::kInsert);
+    } else if (p == "update") {
+      privs.insert(Privilege::kUpdate);
+    } else if (p == "delete") {
+      privs.insert(Privilege::kDelete);
+    } else if (p == "execute") {
+      privs.insert(Privilege::kExecute);
+    } else if (p == "all") {
+      privs = {Privilege::kSelect, Privilege::kInsert, Privilege::kUpdate,
+               Privilege::kDelete, Privilege::kExecute};
+    } else {
+      return Status::InvalidArgument("unknown privilege: " + p);
+    }
+  }
+  if (stmt.grant) {
+    def->grants[stmt.user].insert(privs.begin(), privs.end());
+  } else {
+    auto it = def->grants.find(stmt.user);
+    if (it != def->grants.end()) {
+      for (Privilege p : privs) it->second.erase(p);
+      if (it->second.empty()) def->grants.erase(it);
+    }
+  }
+  InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status Server::ExecExplain(const ExplainStmt& stmt, Session* session) {
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(*stmt.select));
+  OptimizerOptions opts = options_.optimizer;
+  if (stmt.select->max_staleness >= 0) {
+    opts.max_staleness = stmt.select->max_staleness;
+    opts.current_time = db_.Now();
+  }
+  Optimizer optimizer(&db_.catalog(), opts);
+  MT_ASSIGN_OR_RETURN(OptimizeResult optimized, optimizer.Optimize(*logical));
+  QueryResult result;
+  ColumnInfo col;
+  col.name = "plan";
+  col.type = TypeId::kString;
+  result.schema.AddColumn(std::move(col));
+  // One row per plan line, plus a summary row.
+  std::string text = PhysicalToString(*optimized.plan);
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    result.rows.push_back({Value::String(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  result.rows.push_back({Value::String(
+      "estimated cost: " + std::to_string(optimized.est_cost) +
+      ", dynamic: " + (optimized.dynamic_plan ? "yes" : "no") +
+      ", remote: " + (optimized.uses_remote ? "yes" : "no"))});
+  session->result = std::move(result);
+  session->has_result = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Stored procedures
+// ---------------------------------------------------------------------------
+
+StatusOr<Server::CompiledProcedure*> Server::CompileProcedure(
+    const std::string& name) {
+  auto it = procedure_cache_.find(name);
+  if (it != procedure_cache_.end()) return &it->second;
+  const ProcedureDef* def = db_.catalog().GetProcedure(name);
+  if (def == nullptr) {
+    return Status::NotFound("procedure not found: " + name);
+  }
+  CompiledProcedure proc;
+  proc.def = def;
+  MT_ASSIGN_OR_RETURN(proc.body, ParseSqlScript(def->body_source));
+  auto [inserted_it, ok] = procedure_cache_.emplace(name, std::move(proc));
+  return &inserted_it->second;
+}
+
+Status Server::ExecExec(const ExecStmt& stmt, Session* session,
+                        ExecStats* stats) {
+  ExecContext ctx = MakeContext(session, stats);
+  const ProcedureDef* def = db_.catalog().GetProcedure(stmt.procedure);
+  if (def == nullptr) {
+    // Transparent forwarding to the backend (§5.2).
+    const std::string& backend = options_.optimizer.backend_server;
+    if (backend.empty() || links_ == nullptr) {
+      return Status::NotFound("procedure not found: " + stmt.procedure);
+    }
+    std::string sql = "EXEC " + stmt.procedure;
+    Binder binder = MakeBinder();
+    for (size_t i = 0; i < stmt.args.size(); ++i) {
+      MT_ASSIGN_OR_RETURN(BExprPtr bound, binder.BindScalar(*stmt.args[i]));
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*bound, nullptr, ctx.Eval()));
+      sql += i == 0 ? " " : ", ";
+      sql += v.ToSqlLiteral();
+    }
+    MT_ASSIGN_OR_RETURN(QueryResult result,
+                        ExecuteRemote(backend, sql, {}, stats));
+    session->result = std::move(result);
+    session->has_result = true;
+    return Status::Ok();
+  }
+
+  MT_ASSIGN_OR_RETURN(CompiledProcedure* proc,
+                      CompileProcedure(stmt.procedure));
+  if (stmt.args.size() > def->params.size()) {
+    return Status::InvalidArgument("too many arguments for procedure " +
+                                   stmt.procedure);
+  }
+  Session proc_session;
+  Binder binder = MakeBinder();
+  for (size_t i = 0; i < def->params.size(); ++i) {
+    Value v = Value::TypedNull(def->params[i].second);
+    if (i < stmt.args.size()) {
+      MT_ASSIGN_OR_RETURN(BExprPtr bound, binder.BindScalar(*stmt.args[i]));
+      MT_ASSIGN_OR_RETURN(v, EvalBound(*bound, nullptr, ctx.Eval()));
+    }
+    proc_session.vars[def->params[i].first] = std::move(v);
+  }
+  MT_RETURN_IF_ERROR(ExecuteStmtList(proc->body, &proc_session, stats, proc));
+  if (proc_session.txn != nullptr && proc_session.txn->active()) {
+    // A procedure must not leak an open transaction.
+    db_.txn_manager().Abort(proc_session.txn.get());
+    return Status::Aborted("procedure " + stmt.procedure +
+                           " left a transaction open");
+  }
+  if (proc_session.has_result) {
+    session->result = std::move(proc_session.result);
+    session->has_result = true;
+  } else {
+    session->result.rows_affected = proc_session.result.rows_affected;
+  }
+  return Status::Ok();
+}
+
+Status Server::ExecIf(const IfStmt& stmt, Session* session, ExecStats* stats,
+                      CompiledProcedure* proc) {
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(BExprPtr cond, binder.BindScalar(*stmt.condition));
+  ExecContext ctx = MakeContext(session, stats);
+  MT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*cond, nullptr, ctx.Eval()));
+  const std::vector<StmtPtr>& branch =
+      pass ? stmt.then_branch : stmt.else_branch;
+  return ExecuteStmtList(branch, session, stats, proc);
+}
+
+}  // namespace mtcache

@@ -1,0 +1,224 @@
+#ifndef MTCACHE_ENGINE_SERVER_H_
+#define MTCACHE_ENGINE_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binder/binder.h"
+#include "common/sim_clock.h"
+#include "engine/database.h"
+#include "exec/exec.h"
+#include "opt/optimizer.h"
+#include "sql/parser.h"
+
+namespace mtcache {
+
+class Server;
+
+/// Name -> server map, the moral equivalent of SQL Server's linked-server
+/// registry (§2.1). Remote queries and forwarded DML resolve through it.
+class LinkedServerRegistry {
+ public:
+  void Register(const std::string& name, Server* server) {
+    servers_[name] = server;
+  }
+  Server* Get(const std::string& name) const {
+    auto it = servers_.find(name);
+    return it == servers_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, Server*> servers_;
+};
+
+struct ServerOptions {
+  std::string name = "server";
+  std::string default_user = "dbo";
+  OptimizerOptions optimizer;
+};
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+};
+
+/// One SQL server instance: a database, an optimizer, an executor, a plan
+/// cache, and stored-procedure support. A backend server stands alone; an
+/// MTCache server additionally has `optimizer.backend_server` set and its
+/// database configured as a shadow (see src/mtcache).
+class Server : public RemoteExecutor {
+ public:
+  explicit Server(ServerOptions options, SimClock* clock = nullptr,
+                  LinkedServerRegistry* links = nullptr);
+
+  const std::string& name() const { return options_.name; }
+  Database& db() { return db_; }
+  SimClock* clock() { return clock_; }
+  LinkedServerRegistry* links() { return links_; }
+  const OptimizerOptions& optimizer_options() const {
+    return options_.optimizer;
+  }
+  /// Changing optimizer options invalidates all cached plans.
+  void set_optimizer_options(const OptimizerOptions& opts);
+
+  /// Executes a script (one or more ';'-separated statements). Returns the
+  /// last SELECT's result (or rows_affected of the last DML).
+  StatusOr<QueryResult> Execute(const std::string& sql);
+  StatusOr<QueryResult> Execute(const std::string& sql, const ParamMap& params,
+                                ExecStats* stats);
+
+  /// Executes a script, failing on the first error; results are discarded.
+  Status ExecuteScript(const std::string& sql);
+
+  /// Calls a stored procedure with positional arguments. If the procedure
+  /// does not exist locally and a backend is linked, the call is forwarded
+  /// transparently (§5.2).
+  StatusOr<QueryResult> CallProcedure(const std::string& name,
+                                      const std::vector<Value>& args,
+                                      ExecStats* stats);
+
+  /// Parses + binds + optimizes a single SELECT without executing it.
+  StatusOr<OptimizeResult> Explain(const std::string& sql);
+
+  // RemoteExecutor: runs `sql` on the linked server `server_name`, charging
+  // its work to stats->remote_cost.
+  StatusOr<QueryResult> ExecuteRemote(const std::string& server_name,
+                                      const std::string& sql,
+                                      const ParamMap& params,
+                                      ExecStats* stats) override;
+
+  /// Hook for CREATE CACHED MATERIALIZED VIEW, installed by the MTCache
+  /// layer (creating a cached view also creates a replication subscription,
+  /// which the engine itself knows nothing about).
+  using CachedViewHandler =
+      std::function<Status(Server* server, const CreateViewStmt& stmt)>;
+  void set_cached_view_handler(CachedViewHandler handler) {
+    cached_view_handler_ = std::move(handler);
+  }
+  /// Hook for DROP of a cached view (must also drop the subscription).
+  using CachedViewDropHandler =
+      std::function<Status(Server* server, const std::string& view)>;
+  void set_cached_view_drop_handler(CachedViewDropHandler handler) {
+    cached_view_drop_handler_ = std::move(handler);
+  }
+
+  const PlanCacheStats& plan_cache_stats() const { return plan_cache_stats_; }
+  void InvalidatePlanCache();
+
+  /// Recomputes statistics on all stored tables (after bulk loads).
+  void RecomputeStats();
+
+ private:
+  struct Session {
+    ParamMap vars;
+    std::unique_ptr<Transaction> txn;  // explicit transaction, if open
+    QueryResult result;
+    bool has_result = false;
+    bool return_requested = false;
+  };
+
+  struct CachedPlan {
+    PhysicalPtr plan;
+    Schema schema;
+  };
+
+  struct CompiledProcedure {
+    const ProcedureDef* def = nullptr;
+    std::vector<StmtPtr> body;
+    // Plans for SELECTs inside the body, keyed by statement address. This is
+    // what makes dynamic plans pay off: parameterized procedure queries are
+    // optimized once and the startup predicates pick the branch per call.
+    std::map<const Stmt*, CachedPlan> plans;
+  };
+
+  Status ExecuteStmtList(const std::vector<StmtPtr>& stmts, Session* session,
+                         ExecStats* stats, CompiledProcedure* proc);
+  Status ExecuteStmt(const Stmt& stmt, Session* session, ExecStats* stats,
+                     CompiledProcedure* proc);
+  Status ExecSelect(const SelectStmt& stmt, Session* session, ExecStats* stats,
+                    CompiledProcedure* proc);
+  Status ExecInsert(const InsertStmt& stmt, Session* session, ExecStats* stats);
+  Status ExecUpdate(const UpdateStmt& stmt, Session* session, ExecStats* stats);
+  Status ExecDelete(const DeleteStmt& stmt, Session* session, ExecStats* stats);
+  Status ExecCreateTable(const CreateTableStmt& stmt);
+  Status ExecCreateIndex(const CreateIndexStmt& stmt);
+  Status ExecCreateView(const CreateViewStmt& stmt, Session* session,
+                        ExecStats* stats);
+  Status ExecCreateProcedure(const CreateProcedureStmt& stmt);
+  Status ExecDrop(const DropStmt& stmt);
+  Status ExecGrant(const GrantStmt& stmt);
+  Status ExecExplain(const ExplainStmt& stmt, Session* session);
+  Status ExecExec(const ExecStmt& stmt, Session* session, ExecStats* stats);
+  Status ExecIf(const IfStmt& stmt, Session* session, ExecStats* stats,
+                CompiledProcedure* proc);
+
+  /// Forwards a DML statement (rendered back to SQL) to the shadow table's
+  /// home backend (§5: "all insert, delete and update requests against a
+  /// shadow table are immediately converted to remote inserts, deletes and
+  /// updates").
+  Status ForwardDml(const TableDef& table, const std::string& sql,
+                    Session* session, ExecStats* stats);
+
+  /// Applies one local write plus synchronous maintenance of regular
+  /// materialized views defined over the table.
+  StatusOr<RowId> InsertRow(StoredTable* table, const Row& row,
+                            Transaction* txn, ExecStats* stats);
+  Status DeleteRow(StoredTable* table, RowId rid, Transaction* txn,
+                   ExecStats* stats);
+  Status UpdateRow(StoredTable* table, RowId rid, const Row& new_row,
+                   Transaction* txn, ExecStats* stats);
+
+  Status MaintainViews(const TableDef& base, LogRecordType op,
+                       const Row& before, const Row& after, Transaction* txn,
+                       ExecStats* stats);
+
+  /// Rows of `table` satisfying `where`, using an index when an equality
+  /// prefix is available.
+  StatusOr<std::vector<RowId>> FindMatchingRows(StoredTable* table,
+                                                const BoundExpr* where,
+                                                Session* session,
+                                                ExecStats* stats);
+
+  StatusOr<const CachedPlan*> PlanSelect(const SelectStmt& stmt,
+                                         Session* session,
+                                         CompiledProcedure* proc,
+                                         const std::string& cache_key);
+
+  StatusOr<CompiledProcedure*> CompileProcedure(const std::string& name);
+
+  // Transaction helpers: returns the session transaction or a fresh
+  // auto-commit transaction (committed/aborted by the caller via the guard).
+  struct TxnScope {
+    Transaction* txn = nullptr;
+    std::unique_ptr<Transaction> auto_txn;
+    bool auto_commit = false;
+  };
+  TxnScope BeginScope(Session* session);
+  Status EndScope(TxnScope* scope, Status status);
+
+  Binder MakeBinder();
+  ExecContext MakeContext(Session* session, ExecStats* stats);
+
+  ServerOptions options_;
+  SimClock* clock_;
+  LinkedServerRegistry* links_;
+  Database db_;
+  CachedViewHandler cached_view_handler_;
+  CachedViewDropHandler cached_view_drop_handler_;
+
+  std::map<std::string, CachedPlan> statement_plan_cache_;
+  std::map<std::string, CompiledProcedure> procedure_cache_;
+  PlanCacheStats plan_cache_stats_;
+};
+
+/// Renders DML ASTs back to SQL text for forwarding to the backend.
+std::string InsertToSql(const InsertStmt& stmt);
+std::string UpdateToSql(const UpdateStmt& stmt);
+std::string DeleteToSql(const DeleteStmt& stmt);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_ENGINE_SERVER_H_

@@ -1,0 +1,98 @@
+#ifndef MTCACHE_EXEC_EXEC_H_
+#define MTCACHE_EXEC_EXEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/bound_expr.h"
+#include "opt/physical.h"
+#include "storage/table.h"
+
+namespace mtcache {
+
+/// A query's result rows (or affected-row count for DML).
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+  int64_t rows_affected = 0;
+};
+
+/// Measured work, in the same cost units as the optimizer's estimates.
+/// `local_cost` is work done by the executing server; `remote_cost` is work
+/// the call pushed onto other servers (the backend). The multi-server
+/// simulation converts these into CPU service demand.
+struct ExecStats {
+  double local_cost = 0;
+  double remote_cost = 0;
+  double bytes_transferred = 0;
+  int64_t rows_transferred = 0;
+  int64_t remote_queries = 0;
+
+  void Add(const ExecStats& other) {
+    local_cost += other.local_cost;
+    remote_cost += other.remote_cost;
+    bytes_transferred += other.bytes_transferred;
+    rows_transferred += other.rows_transferred;
+    remote_queries += other.remote_queries;
+  }
+};
+
+/// Supplies stored tables to scans. Implemented by engine::Database.
+class StorageProvider {
+ public:
+  virtual ~StorageProvider() = default;
+  virtual StoredTable* GetStoredTable(const std::string& name) = 0;
+};
+
+/// Executes shipped SQL on a linked server. Implemented by engine::Server.
+/// Implementations must charge the callee's work to `stats->remote_cost` and
+/// account the returned volume in bytes/rows_transferred.
+class RemoteExecutor {
+ public:
+  virtual ~RemoteExecutor() = default;
+  virtual StatusOr<QueryResult> ExecuteRemote(const std::string& server,
+                                              const std::string& sql,
+                                              const ParamMap& params,
+                                              ExecStats* stats) = 0;
+};
+
+struct ExecContext {
+  const ParamMap* params = nullptr;
+  double now = 0;  // GETDATE() on the simulated clock
+  StorageProvider* storage = nullptr;
+  RemoteExecutor* remote = nullptr;
+  ExecStats* stats = nullptr;
+
+  void Charge(double cost) const {
+    if (stats != nullptr) stats->local_cost += cost;
+  }
+  EvalContext Eval() const {
+    EvalContext ctx;
+    ctx.params = params;
+    ctx.current_time = now;
+    return ctx;
+  }
+};
+
+/// Volcano-style iterator. Open may be called again after Close (nested
+/// loops rescan their inner input).
+class ExecNode {
+ public:
+  virtual ~ExecNode() = default;
+  virtual Status Open(ExecContext* ctx) = 0;
+  /// Returns true and fills *row, or false at end of stream.
+  virtual StatusOr<bool> Next(ExecContext* ctx, Row* row) = 0;
+  virtual void Close() {}
+};
+
+/// Compiles a physical plan into an executor tree.
+StatusOr<std::unique_ptr<ExecNode>> BuildExecutor(const PhysicalOp& plan);
+
+/// Convenience: build, open, drain, close.
+StatusOr<QueryResult> ExecutePlan(const PhysicalOp& plan, ExecContext* ctx);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_EXEC_EXEC_H_

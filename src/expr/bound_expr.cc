@@ -1,0 +1,581 @@
+#include "expr/bound_expr.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace mtcache {
+
+BExprPtr CloneBound(const BoundExpr& expr) {
+  switch (expr.kind) {
+    case BoundExprKind::kLiteral: {
+      const auto& e = static_cast<const BoundLiteral&>(expr);
+      return std::make_unique<BoundLiteral>(e.value);
+    }
+    case BoundExprKind::kColumnRef: {
+      const auto& e = static_cast<const BoundColumnRef&>(expr);
+      return std::make_unique<BoundColumnRef>(e.ordinal, e.type, e.name);
+    }
+    case BoundExprKind::kParam: {
+      const auto& e = static_cast<const BoundParam&>(expr);
+      return std::make_unique<BoundParam>(e.name, e.type);
+    }
+    case BoundExprKind::kUnary: {
+      const auto& e = static_cast<const BoundUnary&>(expr);
+      return std::make_unique<BoundUnary>(e.op, CloneBound(*e.operand), e.type);
+    }
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      return std::make_unique<BoundBinary>(e.op, CloneBound(*e.left),
+                                           CloneBound(*e.right), e.type);
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(expr);
+      return std::make_unique<BoundLike>(CloneBound(*e.input),
+                                         CloneBound(*e.pattern), e.negated);
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& e = static_cast<const BoundIsNull&>(expr);
+      return std::make_unique<BoundIsNull>(CloneBound(*e.input), e.negated);
+    }
+    case BoundExprKind::kFunction: {
+      const auto& e = static_cast<const BoundFunction&>(expr);
+      std::vector<BExprPtr> args;
+      for (const auto& a : e.args) args.push_back(CloneBound(*a));
+      return std::make_unique<BoundFunction>(e.fn, std::move(args), e.type);
+    }
+    case BoundExprKind::kCase: {
+      const auto& e = static_cast<const BoundCase&>(expr);
+      std::vector<std::pair<BExprPtr, BExprPtr>> branches;
+      for (const auto& [when, then] : e.branches) {
+        branches.emplace_back(CloneBound(*when), CloneBound(*then));
+      }
+      return std::make_unique<BoundCase>(
+          std::move(branches),
+          e.else_expr ? CloneBound(*e.else_expr) : nullptr, e.type);
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Arithmetic with numeric promotion; NULL-in -> NULL-out.
+StatusOr<Value> EvalArith(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  bool use_double =
+      l.type() == TypeId::kDouble || r.type() == TypeId::kDouble;
+  if (use_double) {
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Double(a + b);
+      case BinaryOp::kSub: return Value::Double(a - b);
+      case BinaryOp::kMul: return Value::Double(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Double(a / b);
+      case BinaryOp::kMod:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Double(std::fmod(a, b));
+      default:
+        break;
+    }
+  } else {
+    int64_t a = l.AsInt();
+    int64_t b = r.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Int(a + b);
+      case BinaryOp::kSub: return Value::Int(a - b);
+      case BinaryOp::kMul: return Value::Int(a * b);
+      case BinaryOp::kDiv:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(a / b);
+      case BinaryOp::kMod:
+        if (b == 0) return Status::InvalidArgument("division by zero");
+        return Value::Int(a % b);
+      default:
+        break;
+    }
+  }
+  return Status::Internal("non-arithmetic op in EvalArith");
+}
+
+// Comparison with SQL NULL semantics (NULL compare -> NULL).
+Value EvalCompare(BinaryOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::TypedNull(TypeId::kBool);
+  int c = l.Compare(r);
+  bool result = false;
+  switch (op) {
+    case BinaryOp::kEq: result = c == 0; break;
+    case BinaryOp::kNe: result = c != 0; break;
+    case BinaryOp::kLt: result = c < 0; break;
+    case BinaryOp::kLe: result = c <= 0; break;
+    case BinaryOp::kGt: result = c > 0; break;
+    case BinaryOp::kGe: result = c >= 0; break;
+    default: break;
+  }
+  return Value::Bool(result);
+}
+
+// Three-valued AND/OR.
+Value EvalLogic(BinaryOp op, const Value& l, const Value& r) {
+  auto truth = [](const Value& v) -> int {
+    if (v.is_null()) return -1;  // unknown
+    return v.AsBool() ? 1 : 0;
+  };
+  int a = truth(l);
+  int b = truth(r);
+  if (op == BinaryOp::kAnd) {
+    if (a == 0 || b == 0) return Value::Bool(false);
+    if (a == 1 && b == 1) return Value::Bool(true);
+    return Value::TypedNull(TypeId::kBool);
+  }
+  // OR
+  if (a == 1 || b == 1) return Value::Bool(true);
+  if (a == 0 && b == 0) return Value::Bool(false);
+  return Value::TypedNull(TypeId::kBool);
+}
+
+}  // namespace
+
+StatusOr<Value> EvalBound(const BoundExpr& expr, const Row* row,
+                          const EvalContext& ctx) {
+  switch (expr.kind) {
+    case BoundExprKind::kLiteral:
+      return static_cast<const BoundLiteral&>(expr).value;
+    case BoundExprKind::kColumnRef: {
+      const auto& e = static_cast<const BoundColumnRef&>(expr);
+      if (row == nullptr || e.ordinal >= static_cast<int>(row->size())) {
+        return Status::Internal("column reference without a row (ordinal " +
+                                std::to_string(e.ordinal) + ")");
+      }
+      return (*row)[e.ordinal];
+    }
+    case BoundExprKind::kParam: {
+      const auto& e = static_cast<const BoundParam&>(expr);
+      if (ctx.params == nullptr) {
+        return Status::InvalidArgument("no parameters supplied for " + e.name);
+      }
+      auto it = ctx.params->find(e.name);
+      if (it == ctx.params->end()) {
+        return Status::InvalidArgument("missing parameter " + e.name);
+      }
+      return it->second;
+    }
+    case BoundExprKind::kUnary: {
+      const auto& e = static_cast<const BoundUnary&>(expr);
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e.operand, row, ctx));
+      if (e.op == UnaryOp::kNeg) {
+        if (v.is_null()) return Value::Null();
+        if (v.type() == TypeId::kDouble) return Value::Double(-v.AsDouble());
+        return Value::Int(-v.AsInt());
+      }
+      // NOT with three-valued logic.
+      if (v.is_null()) return Value::TypedNull(TypeId::kBool);
+      return Value::Bool(!v.AsBool());
+    }
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      MT_ASSIGN_OR_RETURN(Value l, EvalBound(*e.left, row, ctx));
+      MT_ASSIGN_OR_RETURN(Value r, EvalBound(*e.right, row, ctx));
+      switch (e.op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod: {
+          // String concatenation via '+'.
+          if (e.op == BinaryOp::kAdd && (l.type() == TypeId::kString ||
+                                         r.type() == TypeId::kString)) {
+            if (l.is_null() || r.is_null()) return Value::Null();
+            return Value::String(l.ToString() + r.ToString());
+          }
+          return EvalArith(e.op, l, r);
+        }
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe:
+          return EvalCompare(e.op, l, r);
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          return EvalLogic(e.op, l, r);
+      }
+      return Status::Internal("unhandled binary op");
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(expr);
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e.input, row, ctx));
+      MT_ASSIGN_OR_RETURN(Value p, EvalBound(*e.pattern, row, ctx));
+      if (v.is_null() || p.is_null()) return Value::TypedNull(TypeId::kBool);
+      bool match = LikeMatch(v.ToString(), p.ToString());
+      return Value::Bool(e.negated ? !match : match);
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& e = static_cast<const BoundIsNull&>(expr);
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e.input, row, ctx));
+      bool isnull = v.is_null();
+      return Value::Bool(e.negated ? !isnull : isnull);
+    }
+    case BoundExprKind::kFunction: {
+      const auto& e = static_cast<const BoundFunction&>(expr);
+      std::vector<Value> args;
+      for (const auto& a : e.args) {
+        MT_ASSIGN_OR_RETURN(Value v, EvalBound(*a, row, ctx));
+        args.push_back(std::move(v));
+      }
+      switch (e.fn) {
+        case BuiltinFn::kGetDate:
+          return Value::Int(static_cast<int64_t>(ctx.current_time));
+        case BuiltinFn::kAbs:
+          if (args[0].is_null()) return Value::Null();
+          if (args[0].type() == TypeId::kDouble) {
+            return Value::Double(std::fabs(args[0].AsDouble()));
+          }
+          return Value::Int(std::llabs(args[0].AsInt()));
+        case BuiltinFn::kLen:
+          if (args[0].is_null()) return Value::Null();
+          return Value::Int(static_cast<int64_t>(args[0].ToString().size()));
+        case BuiltinFn::kSubstring: {
+          if (args[0].is_null()) return Value::Null();
+          std::string s = args[0].ToString();
+          int64_t start = args[1].AsInt();  // 1-based, per T-SQL
+          int64_t len = args[2].AsInt();
+          if (start < 1) start = 1;
+          if (start > static_cast<int64_t>(s.size())) return Value::String("");
+          return Value::String(s.substr(start - 1, len));
+        }
+        case BuiltinFn::kRound: {
+          if (args[0].is_null()) return Value::Null();
+          double scale = args.size() > 1 ? std::pow(10, args[1].AsInt()) : 1;
+          return Value::Double(std::round(args[0].AsDouble() * scale) / scale);
+        }
+        case BuiltinFn::kCoalesce: {
+          for (const Value& v : args) {
+            if (!v.is_null()) return v;
+          }
+          return Value::Null();
+        }
+      }
+      return Status::Internal("unhandled builtin");
+    }
+    case BoundExprKind::kCase: {
+      const auto& e = static_cast<const BoundCase&>(expr);
+      for (const auto& [when, then] : e.branches) {
+        MT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*when, row, ctx));
+        if (pass) return EvalBound(*then, row, ctx);
+      }
+      if (e.else_expr != nullptr) return EvalBound(*e.else_expr, row, ctx);
+      return Value::TypedNull(e.type);
+    }
+  }
+  return Status::Internal("unhandled bound expr kind");
+}
+
+StatusOr<bool> EvalPredicate(const BoundExpr& expr, const Row* row,
+                             const EvalContext& ctx) {
+  MT_ASSIGN_OR_RETURN(Value v, EvalBound(expr, row, ctx));
+  return !v.is_null() && v.AsBool();
+}
+
+void CollectConjuncts(const BoundExpr& expr,
+                      std::vector<const BoundExpr*>* out) {
+  if (expr.kind == BoundExprKind::kBinary) {
+    const auto& e = static_cast<const BoundBinary&>(expr);
+    if (e.op == BinaryOp::kAnd) {
+      CollectConjuncts(*e.left, out);
+      CollectConjuncts(*e.right, out);
+      return;
+    }
+  }
+  out->push_back(&expr);
+}
+
+BExprPtr AndTogether(std::vector<BExprPtr> conjuncts) {
+  BExprPtr result;
+  for (auto& c : conjuncts) {
+    if (!result) {
+      result = std::move(c);
+    } else {
+      result = std::make_unique<BoundBinary>(BinaryOp::kAnd, std::move(result),
+                                             std::move(c), TypeId::kBool);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+template <typename Fn>
+void VisitBound(const BoundExpr& expr, Fn&& fn) {
+  fn(expr);
+  switch (expr.kind) {
+    case BoundExprKind::kUnary:
+      VisitBound(*static_cast<const BoundUnary&>(expr).operand, fn);
+      break;
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      VisitBound(*e.left, fn);
+      VisitBound(*e.right, fn);
+      break;
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(expr);
+      VisitBound(*e.input, fn);
+      VisitBound(*e.pattern, fn);
+      break;
+    }
+    case BoundExprKind::kIsNull:
+      VisitBound(*static_cast<const BoundIsNull&>(expr).input, fn);
+      break;
+    case BoundExprKind::kFunction:
+      for (const auto& a : static_cast<const BoundFunction&>(expr).args) {
+        VisitBound(*a, fn);
+      }
+      break;
+    case BoundExprKind::kCase: {
+      const auto& e = static_cast<const BoundCase&>(expr);
+      for (const auto& [when, then] : e.branches) {
+        VisitBound(*when, fn);
+        VisitBound(*then, fn);
+      }
+      if (e.else_expr != nullptr) VisitBound(*e.else_expr, fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+template <typename Fn>
+void VisitBoundMutable(BoundExpr* expr, Fn&& fn) {
+  fn(expr);
+  switch (expr->kind) {
+    case BoundExprKind::kUnary:
+      VisitBoundMutable(static_cast<BoundUnary*>(expr)->operand.get(), fn);
+      break;
+    case BoundExprKind::kBinary: {
+      auto* e = static_cast<BoundBinary*>(expr);
+      VisitBoundMutable(e->left.get(), fn);
+      VisitBoundMutable(e->right.get(), fn);
+      break;
+    }
+    case BoundExprKind::kLike: {
+      auto* e = static_cast<BoundLike*>(expr);
+      VisitBoundMutable(e->input.get(), fn);
+      VisitBoundMutable(e->pattern.get(), fn);
+      break;
+    }
+    case BoundExprKind::kIsNull:
+      VisitBoundMutable(static_cast<BoundIsNull*>(expr)->input.get(), fn);
+      break;
+    case BoundExprKind::kFunction:
+      for (auto& a : static_cast<BoundFunction*>(expr)->args) {
+        VisitBoundMutable(a.get(), fn);
+      }
+      break;
+    case BoundExprKind::kCase: {
+      auto* e = static_cast<BoundCase*>(expr);
+      for (auto& [when, then] : e->branches) {
+        VisitBoundMutable(when.get(), fn);
+        VisitBoundMutable(then.get(), fn);
+      }
+      if (e->else_expr != nullptr) VisitBoundMutable(e->else_expr.get(), fn);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void CollectColumnRefs(const BoundExpr& expr, std::vector<int>* ordinals) {
+  VisitBound(expr, [&](const BoundExpr& e) {
+    if (e.kind == BoundExprKind::kColumnRef) {
+      ordinals->push_back(static_cast<const BoundColumnRef&>(e).ordinal);
+    }
+  });
+}
+
+bool IsRowFree(const BoundExpr& expr) {
+  std::vector<int> refs;
+  CollectColumnRefs(expr, &refs);
+  return refs.empty();
+}
+
+bool HasParam(const BoundExpr& expr) {
+  bool found = false;
+  VisitBound(expr, [&](const BoundExpr& e) {
+    if (e.kind == BoundExprKind::kParam) found = true;
+  });
+  return found;
+}
+
+void ShiftColumnRefs(BoundExpr* expr, int delta) {
+  VisitBoundMutable(expr, [&](BoundExpr* e) {
+    if (e->kind == BoundExprKind::kColumnRef) {
+      static_cast<BoundColumnRef*>(e)->ordinal += delta;
+    }
+  });
+}
+
+bool RemapColumnRefs(BoundExpr* expr, const std::vector<int>& mapping) {
+  bool ok = true;
+  VisitBoundMutable(expr, [&](BoundExpr* e) {
+    if (e->kind == BoundExprKind::kColumnRef) {
+      auto* ref = static_cast<BoundColumnRef*>(e);
+      if (ref->ordinal < 0 || ref->ordinal >= static_cast<int>(mapping.size()) ||
+          mapping[ref->ordinal] < 0) {
+        ok = false;
+      } else {
+        ref->ordinal = mapping[ref->ordinal];
+      }
+    }
+  });
+  return ok;
+}
+
+std::string BoundToSql(const BoundExpr& expr) {
+  switch (expr.kind) {
+    case BoundExprKind::kLiteral:
+      return static_cast<const BoundLiteral&>(expr).value.ToSqlLiteral();
+    case BoundExprKind::kColumnRef:
+      return static_cast<const BoundColumnRef&>(expr).name;
+    case BoundExprKind::kParam:
+      return static_cast<const BoundParam&>(expr).name;
+    case BoundExprKind::kUnary: {
+      const auto& e = static_cast<const BoundUnary&>(expr);
+      return (e.op == UnaryOp::kNot ? "NOT (" : "-(") +
+             BoundToSql(*e.operand) + ")";
+    }
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(expr);
+      const char* sym = "?";
+      switch (e.op) {
+        case BinaryOp::kAdd: sym = "+"; break;
+        case BinaryOp::kSub: sym = "-"; break;
+        case BinaryOp::kMul: sym = "*"; break;
+        case BinaryOp::kDiv: sym = "/"; break;
+        case BinaryOp::kMod: sym = "%"; break;
+        case BinaryOp::kEq: sym = "="; break;
+        case BinaryOp::kNe: sym = "<>"; break;
+        case BinaryOp::kLt: sym = "<"; break;
+        case BinaryOp::kLe: sym = "<="; break;
+        case BinaryOp::kGt: sym = ">"; break;
+        case BinaryOp::kGe: sym = ">="; break;
+        case BinaryOp::kAnd: sym = "AND"; break;
+        case BinaryOp::kOr: sym = "OR"; break;
+      }
+      return "(" + BoundToSql(*e.left) + " " + sym + " " +
+             BoundToSql(*e.right) + ")";
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(expr);
+      return "(" + BoundToSql(*e.input) +
+             (e.negated ? " NOT LIKE " : " LIKE ") + BoundToSql(*e.pattern) +
+             ")";
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& e = static_cast<const BoundIsNull&>(expr);
+      return "(" + BoundToSql(*e.input) +
+             (e.negated ? " IS NOT NULL)" : " IS NULL)");
+    }
+    case BoundExprKind::kFunction: {
+      const auto& e = static_cast<const BoundFunction&>(expr);
+      const char* name = "?";
+      switch (e.fn) {
+        case BuiltinFn::kGetDate: name = "GETDATE"; break;
+        case BuiltinFn::kAbs: name = "ABS"; break;
+        case BuiltinFn::kLen: name = "LEN"; break;
+        case BuiltinFn::kSubstring: name = "SUBSTRING"; break;
+        case BuiltinFn::kRound: name = "ROUND"; break;
+        case BuiltinFn::kCoalesce: name = "COALESCE"; break;
+      }
+      std::string out = std::string(name) + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += BoundToSql(*e.args[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case BoundExprKind::kCase: {
+      const auto& e = static_cast<const BoundCase&>(expr);
+      std::string out = "CASE";
+      for (const auto& [when, then] : e.branches) {
+        out += " WHEN " + BoundToSql(*when) + " THEN " + BoundToSql(*then);
+      }
+      if (e.else_expr != nullptr) out += " ELSE " + BoundToSql(*e.else_expr);
+      out += " END";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool BoundEquals(const BoundExpr& a, const BoundExpr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case BoundExprKind::kLiteral:
+      return static_cast<const BoundLiteral&>(a).value ==
+             static_cast<const BoundLiteral&>(b).value;
+    case BoundExprKind::kColumnRef:
+      return static_cast<const BoundColumnRef&>(a).ordinal ==
+             static_cast<const BoundColumnRef&>(b).ordinal;
+    case BoundExprKind::kParam:
+      return static_cast<const BoundParam&>(a).name ==
+             static_cast<const BoundParam&>(b).name;
+    case BoundExprKind::kUnary: {
+      const auto& ea = static_cast<const BoundUnary&>(a);
+      const auto& eb = static_cast<const BoundUnary&>(b);
+      return ea.op == eb.op && BoundEquals(*ea.operand, *eb.operand);
+    }
+    case BoundExprKind::kBinary: {
+      const auto& ea = static_cast<const BoundBinary&>(a);
+      const auto& eb = static_cast<const BoundBinary&>(b);
+      return ea.op == eb.op && BoundEquals(*ea.left, *eb.left) &&
+             BoundEquals(*ea.right, *eb.right);
+    }
+    case BoundExprKind::kLike: {
+      const auto& ea = static_cast<const BoundLike&>(a);
+      const auto& eb = static_cast<const BoundLike&>(b);
+      return ea.negated == eb.negated && BoundEquals(*ea.input, *eb.input) &&
+             BoundEquals(*ea.pattern, *eb.pattern);
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& ea = static_cast<const BoundIsNull&>(a);
+      const auto& eb = static_cast<const BoundIsNull&>(b);
+      return ea.negated == eb.negated && BoundEquals(*ea.input, *eb.input);
+    }
+    case BoundExprKind::kFunction: {
+      const auto& ea = static_cast<const BoundFunction&>(a);
+      const auto& eb = static_cast<const BoundFunction&>(b);
+      if (ea.fn != eb.fn || ea.args.size() != eb.args.size()) return false;
+      for (size_t i = 0; i < ea.args.size(); ++i) {
+        if (!BoundEquals(*ea.args[i], *eb.args[i])) return false;
+      }
+      return true;
+    }
+    case BoundExprKind::kCase: {
+      const auto& ea = static_cast<const BoundCase&>(a);
+      const auto& eb = static_cast<const BoundCase&>(b);
+      if (ea.branches.size() != eb.branches.size()) return false;
+      for (size_t i = 0; i < ea.branches.size(); ++i) {
+        if (!BoundEquals(*ea.branches[i].first, *eb.branches[i].first) ||
+            !BoundEquals(*ea.branches[i].second, *eb.branches[i].second)) {
+          return false;
+        }
+      }
+      if ((ea.else_expr == nullptr) != (eb.else_expr == nullptr)) return false;
+      return ea.else_expr == nullptr ||
+             BoundEquals(*ea.else_expr, *eb.else_expr);
+    }
+  }
+  return false;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,216 @@
+#include "mtcache/mtcache.h"
+
+#include "engine/view_util.h"
+#include "sql/parser.h"
+
+namespace mtcache {
+
+StatusOr<std::unique_ptr<MTCache>> MTCache::Setup(Server* cache,
+                                                  Server* backend,
+                                                  ReplicationSystem* repl,
+                                                  MTCacheOptions options) {
+  if (cache->links() == nullptr) {
+    return Status::InvalidArgument(
+        "cache server needs a linked-server registry");
+  }
+  cache->links()->Register(options.backend_link_name, backend);
+
+  OptimizerOptions opt = cache->optimizer_options();
+  opt.backend_server = options.backend_link_name;
+  opt.remote_cost_factor = options.remote_cost_factor;
+  cache->set_optimizer_options(opt);
+
+  std::unique_ptr<MTCache> mtcache(
+      new MTCache(cache, backend, repl, std::move(options)));
+  MT_RETURN_IF_ERROR(mtcache->CloneCatalog());
+
+  MTCache* raw = mtcache.get();
+  cache->set_cached_view_handler(
+      [raw](Server*, const CreateViewStmt& stmt) -> Status {
+        return raw->CreateCachedView(stmt.view, *stmt.select);
+      });
+  cache->set_cached_view_drop_handler(
+      [raw](Server*, const std::string& view) -> Status {
+        return raw->DropCachedView(view);
+      });
+  repl->AddPublisher(backend);
+  return mtcache;
+}
+
+Status MTCache::CloneCatalog() {
+  const Catalog& src = backend_->db().catalog();
+  for (const std::string& name : src.TableNames()) {
+    const TableDef* def = src.GetTable(name);
+    TableDef shadow;
+    shadow.name = def->name;
+    shadow.schema = def->schema;
+    shadow.primary_key = def->primary_key;
+    shadow.indexes = def->indexes;
+    shadow.stats = def->stats;  // shadowed statistics (§3)
+    shadow.kind = def->kind;
+    shadow.view_def = def->view_def;
+    shadow.grants = def->grants;
+    shadow.shadow = true;  // catalog only; no rows
+    shadow.home_server = options_.backend_link_name;
+    MT_RETURN_IF_ERROR(cache_->db().CreateTable(std::move(shadow)));
+  }
+  cache_->InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status MTCache::CreateCachedView(const std::string& name,
+                                 const std::string& select_sql) {
+  MT_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(select_sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("cached view definition must be a SELECT");
+  }
+  return CreateCachedView(name, static_cast<const SelectStmt&>(*stmt));
+}
+
+Status MTCache::CreateCachedView(const std::string& name,
+                                 const SelectStmt& select) {
+  if (select.from.empty()) {
+    return Status::InvalidArgument("cached view must select from a table");
+  }
+  // The shadow copy of the base table carries schema, keys, and the
+  // shadowed statistics the derived view statistics come from.
+  TableDef* base = cache_->db().catalog().GetTable(select.from[0].name);
+  if (base == nullptr) {
+    return Status::NotFound("base table not in shadow catalog: " +
+                            select.from[0].name);
+  }
+  MT_ASSIGN_OR_RETURN(SelectProjectDef def,
+                      BuildSelectProjectDef(select, *base));
+  MT_ASSIGN_OR_RETURN(
+      TableDef view_def,
+      MakeViewTableDef(name, *base, def, RelationKind::kCachedView));
+  MT_RETURN_IF_ERROR(cache_->db().CreateTable(std::move(view_def)));
+
+  // Initial snapshot: run the article's select-project on the backend and
+  // bulk-insert locally, then subscribe from the current log position.
+  // (Single-threaded system: no writes can slip between the two steps.)
+  StoredTable* backing = cache_->db().GetStoredTable(name);
+  ExecStats snapshot_stats;
+  auto snapshot =
+      backend_->Execute(def.ToSelectSql(), ParamMap{}, &snapshot_stats);
+  if (!snapshot.ok()) {
+    cache_->db().DropTable(name).ok();
+    return snapshot.status();
+  }
+  {
+    auto txn = cache_->db().txn_manager().Begin();
+    for (const Row& row : snapshot->rows) {
+      auto inserted = backing->Insert(row, txn.get());
+      if (!inserted.ok()) {
+        cache_->db().txn_manager().Abort(txn.get());
+        cache_->db().DropTable(name).ok();
+        return inserted.status();
+      }
+    }
+    cache_->db().txn_manager().Commit(txn.get(), cache_->db().Now());
+  }
+
+  Article article;
+  article.name = name + "_article";
+  article.def = def;
+  auto subscription = repl_->Subscribe(backend_, article, cache_, name);
+  if (!subscription.ok()) {
+    cache_->db().DropTable(name).ok();
+    return subscription.status();
+  }
+  TableDef* created = cache_->db().catalog().GetTable(name);
+  created->subscription_id = *subscription;
+  created->freshness_time = cache_->db().Now();  // snapshot is current now
+  cache_->InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status MTCache::DropCachedView(const std::string& name) {
+  TableDef* def = cache_->db().catalog().GetTable(name);
+  if (def == nullptr || def->kind != RelationKind::kCachedView) {
+    return Status::NotFound("cached view not found: " + name);
+  }
+  if (def->subscription_id >= 0) {
+    MT_RETURN_IF_ERROR(repl_->Unsubscribe(def->subscription_id));
+  }
+  MT_RETURN_IF_ERROR(cache_->db().DropTable(name));
+  cache_->InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status MTCache::RefreshCachedView(const std::string& name) {
+  TableDef* def = cache_->db().catalog().GetTable(name);
+  if (def == nullptr || def->kind != RelationKind::kCachedView) {
+    return Status::NotFound("cached view not found: " + name);
+  }
+  StoredTable* backing = cache_->db().GetStoredTable(name);
+  if (backing == nullptr) {
+    return Status::Internal("cached view has no storage: " + name);
+  }
+  // Stop delivery first so nothing lands between clear and re-subscribe.
+  if (def->subscription_id >= 0) {
+    MT_RETURN_IF_ERROR(repl_->Unsubscribe(def->subscription_id));
+    def->subscription_id = -1;
+  }
+  // Replace the contents with a fresh snapshot, atomically.
+  ExecStats snapshot_stats;
+  MT_ASSIGN_OR_RETURN(
+      QueryResult snapshot,
+      backend_->Execute(def->view_def->ToSelectSql(), ParamMap{},
+                        &snapshot_stats));
+  {
+    auto txn = cache_->db().txn_manager().Begin();
+    for (RowId rid = 0; rid < backing->heap().slot_count(); ++rid) {
+      if (!backing->heap().IsLive(rid)) continue;
+      Status status = backing->Delete(rid, txn.get());
+      if (!status.ok()) {
+        cache_->db().txn_manager().Abort(txn.get());
+        return status;
+      }
+    }
+    for (const Row& row : snapshot.rows) {
+      auto inserted = backing->Insert(row, txn.get());
+      if (!inserted.ok()) {
+        cache_->db().txn_manager().Abort(txn.get());
+        return inserted.status();
+      }
+    }
+    cache_->db().txn_manager().Commit(txn.get(), cache_->db().Now());
+  }
+  Article article;
+  article.name = name + "_article";
+  article.def = *def->view_def;
+  MT_ASSIGN_OR_RETURN(int64_t subscription,
+                      repl_->Subscribe(backend_, article, cache_, name));
+  def->subscription_id = subscription;
+  def->freshness_time = cache_->db().Now();
+  backing->RecomputeStats();
+  cache_->InvalidatePlanCache();
+  return Status::Ok();
+}
+
+Status MTCache::CopyProcedure(const std::string& name) {
+  const ProcedureDef* def = backend_->db().catalog().GetProcedure(name);
+  if (def == nullptr) {
+    return Status::NotFound("procedure not found on backend: " + name);
+  }
+  return cache_->db().catalog().CreateProcedure(*def);
+}
+
+Status MTCache::RefreshShadowedStatistics() {
+  const Catalog& src = backend_->db().catalog();
+  for (const std::string& name : cache_->db().catalog().TableNames()) {
+    TableDef* local = cache_->db().catalog().GetTable(name);
+    if (local->shadow) {
+      const TableDef* remote = src.GetTable(name);
+      if (remote != nullptr) local->stats = remote->stats;
+    } else if (local->kind == RelationKind::kCachedView) {
+      StoredTable* table = cache_->db().GetStoredTable(name);
+      if (table != nullptr) table->RecomputeStats();
+    }
+  }
+  cache_->InvalidatePlanCache();
+  return Status::Ok();
+}
+
+}  // namespace mtcache

@@ -1,0 +1,83 @@
+#ifndef MTCACHE_MTCACHE_MTCACHE_H_
+#define MTCACHE_MTCACHE_MTCACHE_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/server.h"
+#include "repl/replication.h"
+
+namespace mtcache {
+
+struct MTCacheOptions {
+  /// Linked-server name under which the backend is registered.
+  std::string backend_link_name = "backend";
+  /// Remote cost multiplier (§5: the backend is assumed loaded).
+  double remote_cost_factor = 1.25;
+};
+
+/// The MTCache layer for one cache server attached to one backend server.
+///
+/// Setup mirrors §4: (1) the generated script that configures the server and
+/// creates the shadow database (CreateShadowDatabase), (2) the DBA's script
+/// creating cached views — `CREATE CACHED MATERIALIZED VIEW` statements
+/// executed on the cache server route here through the engine hook — and
+/// (3) "rerouting ODBC sources", which in this reproduction is simply
+/// pointing the application at the cache Server object.
+class MTCache {
+ public:
+  /// Configures `cache` as a mid-tier cache of `backend`: registers the
+  /// linked server, points shadow-table routing at it, clones the backend
+  /// catalog (tables, indexes, views, permissions, and statistics — but no
+  /// data), and installs the cached-view DDL handler. The returned object
+  /// must outlive `cache`.
+  static StatusOr<std::unique_ptr<MTCache>> Setup(Server* cache,
+                                                  Server* backend,
+                                                  ReplicationSystem* repl,
+                                                  MTCacheOptions options = {});
+
+  /// Creates a cached materialized view: local backing table + matching
+  /// replication subscription (auto-created publication), initial snapshot
+  /// from the backend, and shadow-derived statistics (§4).
+  Status CreateCachedView(const std::string& name,
+                          const std::string& select_sql);
+  Status CreateCachedView(const std::string& name, const SelectStmt& select);
+
+  /// Drops the view's subscription and backing table.
+  Status DropCachedView(const std::string& name);
+
+  /// Full re-synchronization of a cached view: drops its subscription,
+  /// replaces the local contents with a fresh backend snapshot, and
+  /// re-subscribes from the current log position. Recovery path for a
+  /// replica that diverged (tampering, missed changes).
+  Status RefreshCachedView(const std::string& name);
+
+  /// Copies a stored procedure from the backend so it runs locally; calls to
+  /// procedures that are not copied forward transparently (§5.2).
+  Status CopyProcedure(const std::string& name);
+
+  /// Re-copies table/index statistics from the backend and recomputes local
+  /// statistics on cached views. (§7 lists refreshing shadowed catalog
+  /// information as future work; the statistics half is implemented here.)
+  Status RefreshShadowedStatistics();
+
+  Server* cache() { return cache_; }
+  Server* backend() { return backend_; }
+
+ private:
+  MTCache(Server* cache, Server* backend, ReplicationSystem* repl,
+          MTCacheOptions options)
+      : cache_(cache), backend_(backend), repl_(repl),
+        options_(std::move(options)) {}
+
+  Status CloneCatalog();
+
+  Server* cache_;
+  Server* backend_;
+  ReplicationSystem* repl_;
+  MTCacheOptions options_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_MTCACHE_MTCACHE_H_

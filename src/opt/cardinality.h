@@ -1,0 +1,40 @@
+#ifndef MTCACHE_OPT_CARDINALITY_H_
+#define MTCACHE_OPT_CARDINALITY_H_
+
+#include <vector>
+
+#include "catalog/statistics.h"
+#include "expr/bound_expr.h"
+#include "opt/logical.h"
+
+namespace mtcache {
+
+/// Derived statistics for a (sub)relation: estimated row count and
+/// per-output-column statistics. On an MTCache server these derive from the
+/// *shadowed* statistics, which is what makes fully local cost-based
+/// optimization possible (§5).
+struct RelStats {
+  double rows = 1;
+  std::vector<ColumnStats> cols;
+};
+
+/// Estimates the selectivity of `pred` against a relation whose column
+/// statistics are `stats` (parallel to the predicate's input schema).
+/// Standard System-R style: 1/ndv for equality, linear interpolation on
+/// [min,max] for ranges, independence across conjuncts. Predicates on
+/// run-time parameters fall back to fixed default fractions.
+double EstimateSelectivity(const BoundExpr& pred, const RelStats& stats);
+
+/// Bottom-up row-count and column-stat derivation for a logical tree.
+RelStats EstimateLogical(const LogicalOp& op);
+
+/// Probability that a comparison `param op bound` is true, assuming the
+/// parameter is uniformly distributed over the column's [min, max] (§5.1:
+/// "we currently estimate Fl under the assumption [the parameter] is
+/// uniformly distributed between the min and max values of the column").
+double EstimateGuardProbability(CompareOp op, double bound,
+                                const ColumnStats& col);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_OPT_CARDINALITY_H_

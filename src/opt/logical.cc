@@ -1,0 +1,183 @@
+#include "opt/logical.h"
+
+namespace mtcache {
+
+LogicalPtr CloneLogical(const LogicalOp& op) {
+  LogicalPtr out;
+  switch (op.kind) {
+    case LogicalKind::kGet: {
+      const auto& o = static_cast<const LogicalGet&>(op);
+      auto copy = std::make_unique<LogicalGet>();
+      copy->table = o.table;
+      copy->alias = o.alias;
+      copy->server = o.server;
+      copy->def = o.def;
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kFilter: {
+      const auto& o = static_cast<const LogicalFilter&>(op);
+      auto copy = std::make_unique<LogicalFilter>();
+      copy->predicate = o.predicate ? CloneBound(*o.predicate) : nullptr;
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kProject: {
+      const auto& o = static_cast<const LogicalProject&>(op);
+      auto copy = std::make_unique<LogicalProject>();
+      for (const auto& e : o.exprs) copy->exprs.push_back(CloneBound(*e));
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kJoin: {
+      const auto& o = static_cast<const LogicalJoin&>(op);
+      auto copy = std::make_unique<LogicalJoin>();
+      copy->join_kind = o.join_kind;
+      copy->condition = o.condition ? CloneBound(*o.condition) : nullptr;
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kAggregate: {
+      const auto& o = static_cast<const LogicalAggregate&>(op);
+      auto copy = std::make_unique<LogicalAggregate>();
+      for (const auto& g : o.group_by) copy->group_by.push_back(CloneBound(*g));
+      for (const auto& a : o.aggs) {
+        AggItem item;
+        item.func = a.func;
+        item.arg = a.arg ? CloneBound(*a.arg) : nullptr;
+        copy->aggs.push_back(std::move(item));
+      }
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kSort: {
+      const auto& o = static_cast<const LogicalSort&>(op);
+      auto copy = std::make_unique<LogicalSort>();
+      for (const auto& k : o.keys) {
+        SortKey key;
+        key.expr = CloneBound(*k.expr);
+        key.desc = k.desc;
+        copy->keys.push_back(std::move(key));
+      }
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kLimit: {
+      const auto& o = static_cast<const LogicalLimit&>(op);
+      auto copy = std::make_unique<LogicalLimit>();
+      copy->limit = o.limit;
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kDistinct: {
+      out = std::make_unique<LogicalDistinct>();
+      break;
+    }
+    case LogicalKind::kChoosePlan: {
+      const auto& o = static_cast<const LogicalChoosePlan&>(op);
+      auto copy = std::make_unique<LogicalChoosePlan>();
+      copy->guard = o.guard ? CloneBound(*o.guard) : nullptr;
+      copy->guard_prob = o.guard_prob;
+      out = std::move(copy);
+      break;
+    }
+    case LogicalKind::kUnionAll: {
+      const auto& o = static_cast<const LogicalUnionAll&>(op);
+      auto copy = std::make_unique<LogicalUnionAll>();
+      for (const auto& p : o.startup_preds) {
+        copy->startup_preds.push_back(p ? CloneBound(*p) : nullptr);
+      }
+      copy->startup_probs = o.startup_probs;
+      out = std::move(copy);
+      break;
+    }
+  }
+  out->schema = op.schema;
+  for (const auto& child : op.children) {
+    out->children.push_back(CloneLogical(*child));
+  }
+  return out;
+}
+
+std::string LogicalToString(const LogicalOp& op, int indent) {
+  std::string pad(indent * 2, ' ');
+  std::string line = pad;
+  switch (op.kind) {
+    case LogicalKind::kGet: {
+      const auto& o = static_cast<const LogicalGet&>(op);
+      line += "Get(" + (o.server.empty() ? "" : o.server + ".") + o.table;
+      if (!o.alias.empty() && o.alias != o.table) line += " AS " + o.alias;
+      line += ")";
+      break;
+    }
+    case LogicalKind::kFilter: {
+      const auto& o = static_cast<const LogicalFilter&>(op);
+      line += "Filter(" + BoundToSql(*o.predicate) + ")";
+      break;
+    }
+    case LogicalKind::kProject: {
+      const auto& o = static_cast<const LogicalProject&>(op);
+      line += "Project(";
+      for (size_t i = 0; i < o.exprs.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += BoundToSql(*o.exprs[i]);
+      }
+      line += ")";
+      break;
+    }
+    case LogicalKind::kJoin: {
+      const auto& o = static_cast<const LogicalJoin&>(op);
+      line += o.join_kind == JoinKind::kInner ? "Join(" : "LeftOuterJoin(";
+      line += o.condition ? BoundToSql(*o.condition) : "true";
+      line += ")";
+      break;
+    }
+    case LogicalKind::kAggregate: {
+      const auto& o = static_cast<const LogicalAggregate&>(op);
+      line += "Aggregate(groups=" + std::to_string(o.group_by.size()) +
+              ", aggs=" + std::to_string(o.aggs.size()) + ")";
+      break;
+    }
+    case LogicalKind::kSort: {
+      const auto& o = static_cast<const LogicalSort&>(op);
+      line += "Sort(";
+      for (size_t i = 0; i < o.keys.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += BoundToSql(*o.keys[i].expr);
+        if (o.keys[i].desc) line += " DESC";
+      }
+      line += ")";
+      break;
+    }
+    case LogicalKind::kLimit: {
+      line += "Limit(" +
+              std::to_string(static_cast<const LogicalLimit&>(op).limit) + ")";
+      break;
+    }
+    case LogicalKind::kDistinct:
+      line += "Distinct";
+      break;
+    case LogicalKind::kChoosePlan: {
+      const auto& o = static_cast<const LogicalChoosePlan&>(op);
+      line += "ChoosePlan(guard=" + BoundToSql(*o.guard) + ")";
+      break;
+    }
+    case LogicalKind::kUnionAll: {
+      const auto& o = static_cast<const LogicalUnionAll&>(op);
+      line += "UnionAll(";
+      for (size_t i = 0; i < o.startup_preds.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += o.startup_preds[i] ? BoundToSql(*o.startup_preds[i]) : "always";
+      }
+      line += ")";
+      break;
+    }
+  }
+  line += "\n";
+  for (const auto& child : op.children) {
+    line += LogicalToString(*child, indent + 1);
+  }
+  return line;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,127 @@
+#ifndef MTCACHE_OPT_LOGICAL_H_
+#define MTCACHE_OPT_LOGICAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "expr/bound_expr.h"
+#include "types/schema.h"
+
+namespace mtcache {
+
+enum class LogicalKind {
+  kGet,         // base table / matview / cached-view scan source
+  kFilter,
+  kProject,
+  kJoin,
+  kAggregate,
+  kSort,
+  kLimit,
+  kDistinct,
+  kChoosePlan,  // dynamic plan: guard picks the live branch at run time (§5.1)
+  kUnionAll,    // concatenation; used for mixed-result plans (§5.1.1, Fig. 3)
+};
+
+/// Logical operator tree produced by the binder and rewritten by the
+/// optimizer. Every node carries its output schema; expressions reference
+/// child output columns by ordinal.
+struct LogicalOp {
+  LogicalOp(LogicalKind k) : kind(k) {}
+  virtual ~LogicalOp() = default;
+  const LogicalKind kind;
+  Schema schema;
+  std::vector<std::unique_ptr<LogicalOp>> children;
+};
+
+using LogicalPtr = std::unique_ptr<LogicalOp>;
+
+/// Scan of a named relation. `def` points into the *local* catalog; whether
+/// the data is Local or Remote is a physical property decided by the
+/// optimizer: cached views and regular tables with rows are Local, shadow
+/// tables are Remote (§5), and explicit `server.table` references are Remote
+/// on that linked server (§2.1).
+struct LogicalGet : LogicalOp {
+  LogicalGet() : LogicalOp(LogicalKind::kGet) {}
+  std::string table;
+  std::string alias;       // qualifier used in the query
+  std::string server;      // explicit linked server; empty = local catalog
+  const TableDef* def = nullptr;  // null for explicit remote tables
+};
+
+struct LogicalFilter : LogicalOp {
+  LogicalFilter() : LogicalOp(LogicalKind::kFilter) {}
+  BExprPtr predicate;
+};
+
+struct LogicalProject : LogicalOp {
+  LogicalProject() : LogicalOp(LogicalKind::kProject) {}
+  std::vector<BExprPtr> exprs;  // parallel to schema columns
+};
+
+struct LogicalJoin : LogicalOp {
+  LogicalJoin() : LogicalOp(LogicalKind::kJoin) {}
+  JoinKind join_kind = JoinKind::kInner;
+  BExprPtr condition;  // over Concat(left, right); null = cross product
+};
+
+struct AggItem {
+  AggFunc func = AggFunc::kCountStar;
+  BExprPtr arg;  // null for COUNT(*)
+};
+
+/// Output schema: group-by columns first, then one column per aggregate.
+struct LogicalAggregate : LogicalOp {
+  LogicalAggregate() : LogicalOp(LogicalKind::kAggregate) {}
+  std::vector<BExprPtr> group_by;
+  std::vector<AggItem> aggs;
+};
+
+struct SortKey {
+  BExprPtr expr;
+  bool desc = false;
+};
+
+struct LogicalSort : LogicalOp {
+  LogicalSort() : LogicalOp(LogicalKind::kSort) {}
+  std::vector<SortKey> keys;
+};
+
+struct LogicalLimit : LogicalOp {
+  LogicalLimit() : LogicalOp(LogicalKind::kLimit) {}
+  int64_t limit = 0;
+};
+
+struct LogicalDistinct : LogicalOp {
+  LogicalDistinct() : LogicalOp(LogicalKind::kDistinct) {}
+};
+
+/// Dynamic-plan operator (§5.1). children[0] runs when the guard predicate
+/// (parameters only) is true at OPEN time, children[1] otherwise. Physically
+/// implemented as UnionAll over two startup-predicate Selects (Figure 2(b)).
+struct LogicalChoosePlan : LogicalOp {
+  LogicalChoosePlan() : LogicalOp(LogicalKind::kChoosePlan) {}
+  BExprPtr guard;
+  /// Estimated P(guard true); the combined plan costs Fl*Cl + (1-Fl)*Cr.
+  double guard_prob = 0.5;
+};
+
+/// UnionAll with optional per-child startup predicates (null = always run).
+/// Mixed-result plans (§5.1.1) use this directly; ChoosePlan also lowers to
+/// it physically.
+struct LogicalUnionAll : LogicalOp {
+  LogicalUnionAll() : LogicalOp(LogicalKind::kUnionAll) {}
+  std::vector<BExprPtr> startup_preds;  // parallel to children
+  std::vector<double> startup_probs;    // estimated P(child runs)
+};
+
+/// Deep copy of a logical tree.
+LogicalPtr CloneLogical(const LogicalOp& op);
+
+/// Multi-line indented rendering for tests and EXPLAIN-style output.
+std::string LogicalToString(const LogicalOp& op, int indent = 0);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_OPT_LOGICAL_H_

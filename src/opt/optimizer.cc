@@ -1,0 +1,1291 @@
+#include "opt/optimizer.h"
+
+#include <chrono>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "opt/cardinality.h"
+#include "opt/cost_model.h"
+#include "opt/unparse.h"
+#include "opt/view_matching.h"
+
+namespace mtcache {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double EstimateRowBytes(const Schema& schema) {
+  double bytes = 4;
+  for (const ColumnInfo& col : schema.columns()) {
+    bytes += col.type == TypeId::kString ? 24 : 8;
+  }
+  return bytes;
+}
+
+LogicalPtr WrapFilter(LogicalPtr node, std::vector<BExprPtr> conjuncts) {
+  if (conjuncts.empty()) return node;
+  auto filter = std::make_unique<LogicalFilter>();
+  filter->predicate = AndTogether(std::move(conjuncts));
+  filter->schema = node->schema;
+  filter->children.push_back(std::move(node));
+  return filter;
+}
+
+// Substitutes project expressions into a predicate that references project
+// *outputs*, producing a predicate over the project's *input*.
+BExprPtr SubstituteThroughProject(const BoundExpr& pred,
+                                  const std::vector<BExprPtr>& exprs,
+                                  bool* ok) {
+  switch (pred.kind) {
+    case BoundExprKind::kColumnRef: {
+      int ord = static_cast<const BoundColumnRef&>(pred).ordinal;
+      if (ord < 0 || ord >= static_cast<int>(exprs.size())) {
+        *ok = false;
+        return CloneBound(pred);
+      }
+      return CloneBound(*exprs[ord]);
+    }
+    case BoundExprKind::kLiteral:
+    case BoundExprKind::kParam:
+      return CloneBound(pred);
+    case BoundExprKind::kUnary: {
+      const auto& e = static_cast<const BoundUnary&>(pred);
+      return std::make_unique<BoundUnary>(
+          e.op, SubstituteThroughProject(*e.operand, exprs, ok), e.type);
+    }
+    case BoundExprKind::kBinary: {
+      const auto& e = static_cast<const BoundBinary&>(pred);
+      return std::make_unique<BoundBinary>(
+          e.op, SubstituteThroughProject(*e.left, exprs, ok),
+          SubstituteThroughProject(*e.right, exprs, ok), e.type);
+    }
+    case BoundExprKind::kLike: {
+      const auto& e = static_cast<const BoundLike&>(pred);
+      return std::make_unique<BoundLike>(
+          SubstituteThroughProject(*e.input, exprs, ok),
+          SubstituteThroughProject(*e.pattern, exprs, ok), e.negated);
+    }
+    case BoundExprKind::kIsNull: {
+      const auto& e = static_cast<const BoundIsNull&>(pred);
+      return std::make_unique<BoundIsNull>(
+          SubstituteThroughProject(*e.input, exprs, ok), e.negated);
+    }
+    case BoundExprKind::kFunction: {
+      const auto& e = static_cast<const BoundFunction&>(pred);
+      std::vector<BExprPtr> args;
+      for (const auto& a : e.args) {
+        args.push_back(SubstituteThroughProject(*a, exprs, ok));
+      }
+      return std::make_unique<BoundFunction>(e.fn, std::move(args), e.type);
+    }
+    case BoundExprKind::kCase: {
+      const auto& e = static_cast<const BoundCase&>(pred);
+      std::vector<std::pair<BExprPtr, BExprPtr>> branches;
+      for (const auto& [when, then] : e.branches) {
+        branches.emplace_back(SubstituteThroughProject(*when, exprs, ok),
+                              SubstituteThroughProject(*then, exprs, ok));
+      }
+      return std::make_unique<BoundCase>(
+          std::move(branches),
+          e.else_expr ? SubstituteThroughProject(*e.else_expr, exprs, ok)
+                      : nullptr,
+          e.type);
+    }
+  }
+  *ok = false;
+  return CloneBound(pred);
+}
+
+// ---------------------------------------------------------------------------
+// Normalization: split filters into conjuncts and push them to the leaves.
+// ---------------------------------------------------------------------------
+
+LogicalPtr Normalize(LogicalPtr node, std::vector<BExprPtr> inherited) {
+  switch (node->kind) {
+    case LogicalKind::kFilter: {
+      auto* filter = static_cast<LogicalFilter*>(node.get());
+      std::vector<const BoundExpr*> parts;
+      CollectConjuncts(*filter->predicate, &parts);
+      for (const BoundExpr* p : parts) inherited.push_back(CloneBound(*p));
+      LogicalPtr child = std::move(node->children[0]);
+      return Normalize(std::move(child), std::move(inherited));
+    }
+    case LogicalKind::kJoin: {
+      auto* join = static_cast<LogicalJoin*>(node.get());
+      int left_width = node->children[0]->schema.num_columns();
+      std::vector<BExprPtr> left_down;
+      std::vector<BExprPtr> right_down;
+      std::vector<BExprPtr> stay;
+      bool inner = join->join_kind == JoinKind::kInner;
+      // For inner joins the ON condition joins the pool; for outer joins it
+      // must stay attached to the join.
+      std::vector<BExprPtr> pool = std::move(inherited);
+      if (inner && join->condition != nullptr) {
+        std::vector<const BoundExpr*> parts;
+        CollectConjuncts(*join->condition, &parts);
+        for (const BoundExpr* p : parts) pool.push_back(CloneBound(*p));
+        join->condition = nullptr;
+      }
+      std::vector<BExprPtr> above;
+      for (auto& c : pool) {
+        std::vector<int> refs;
+        CollectColumnRefs(*c, &refs);
+        bool all_left = true;
+        bool all_right = true;
+        for (int r : refs) {
+          if (r >= left_width) all_left = false;
+          if (r < left_width) all_right = false;
+        }
+        if (refs.empty()) {
+          // Row-free conjunct: keep at the join (cheap either way).
+          stay.push_back(std::move(c));
+        } else if (all_left) {
+          left_down.push_back(std::move(c));
+        } else if (all_right && inner) {
+          ShiftColumnRefs(c.get(), -left_width);
+          right_down.push_back(std::move(c));
+        } else if (inner) {
+          stay.push_back(std::move(c));
+        } else {
+          // Left outer: predicates touching the right side stay above.
+          above.push_back(std::move(c));
+        }
+      }
+      node->children[0] =
+          Normalize(std::move(node->children[0]), std::move(left_down));
+      node->children[1] =
+          Normalize(std::move(node->children[1]), std::move(right_down));
+      if (inner) {
+        join->condition = AndTogether(std::move(stay));
+      } else {
+        // Re-attach row-free conjuncts above for outer joins.
+        for (auto& c : stay) above.push_back(std::move(c));
+      }
+      return WrapFilter(std::move(node), std::move(above));
+    }
+    case LogicalKind::kProject: {
+      auto* project = static_cast<LogicalProject*>(node.get());
+      std::vector<BExprPtr> down;
+      std::vector<BExprPtr> above;
+      for (auto& c : inherited) {
+        bool ok = true;
+        BExprPtr pushed = SubstituteThroughProject(*c, project->exprs, &ok);
+        if (ok) {
+          down.push_back(std::move(pushed));
+        } else {
+          above.push_back(std::move(c));
+        }
+      }
+      node->children[0] =
+          Normalize(std::move(node->children[0]), std::move(down));
+      return WrapFilter(std::move(node), std::move(above));
+    }
+    case LogicalKind::kSort:
+    case LogicalKind::kDistinct: {
+      node->children[0] =
+          Normalize(std::move(node->children[0]), std::move(inherited));
+      return node;
+    }
+    case LogicalKind::kGet:
+      return WrapFilter(std::move(node), std::move(inherited));
+    default: {
+      // Limit, Aggregate, ChoosePlan, UnionAll: conjuncts cannot (or should
+      // not) move past this operator.
+      for (auto& child : node->children) {
+        child = Normalize(std::move(child), {});
+      }
+      return WrapFilter(std::move(node), std::move(inherited));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Used-column analysis (drives view matching's column coverage).
+// ---------------------------------------------------------------------------
+
+using UsedMap = std::map<const LogicalOp*, std::set<int>>;
+
+void AddRefs(const BoundExpr& expr, std::set<int>* out) {
+  std::vector<int> refs;
+  CollectColumnRefs(expr, &refs);
+  out->insert(refs.begin(), refs.end());
+}
+
+void ComputeUsed(const LogicalOp& node, const std::set<int>& used_out,
+                 UsedMap* map) {
+  switch (node.kind) {
+    case LogicalKind::kGet:
+      (*map)[&node].insert(used_out.begin(), used_out.end());
+      return;
+    case LogicalKind::kFilter: {
+      std::set<int> used = used_out;
+      AddRefs(*static_cast<const LogicalFilter&>(node).predicate, &used);
+      ComputeUsed(*node.children[0], used, map);
+      return;
+    }
+    case LogicalKind::kProject: {
+      std::set<int> used;
+      for (const auto& e : static_cast<const LogicalProject&>(node).exprs) {
+        AddRefs(*e, &used);
+      }
+      ComputeUsed(*node.children[0], used, map);
+      return;
+    }
+    case LogicalKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(node);
+      int left_width = node.children[0]->schema.num_columns();
+      std::set<int> combined = used_out;
+      if (join.condition != nullptr) AddRefs(*join.condition, &combined);
+      std::set<int> left;
+      std::set<int> right;
+      for (int o : combined) {
+        if (o < left_width) {
+          left.insert(o);
+        } else {
+          right.insert(o - left_width);
+        }
+      }
+      ComputeUsed(*node.children[0], left, map);
+      ComputeUsed(*node.children[1], right, map);
+      return;
+    }
+    case LogicalKind::kAggregate: {
+      const auto& agg = static_cast<const LogicalAggregate&>(node);
+      std::set<int> used;
+      for (const auto& g : agg.group_by) AddRefs(*g, &used);
+      for (const auto& a : agg.aggs) {
+        if (a.arg != nullptr) AddRefs(*a.arg, &used);
+      }
+      ComputeUsed(*node.children[0], used, map);
+      return;
+    }
+    case LogicalKind::kSort: {
+      std::set<int> used = used_out;
+      for (const auto& k : static_cast<const LogicalSort&>(node).keys) {
+        AddRefs(*k.expr, &used);
+      }
+      ComputeUsed(*node.children[0], used, map);
+      return;
+    }
+    default:
+      for (const auto& child : node.children) {
+        ComputeUsed(*child, used_out, map);
+      }
+      return;
+  }
+}
+
+std::set<int> AllColumns(const Schema& schema) {
+  std::set<int> out;
+  for (int i = 0; i < schema.num_columns(); ++i) out.insert(i);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Planner: top-down physical planning with the DataLocation property.
+// ---------------------------------------------------------------------------
+
+struct PlanChoice {
+  PhysicalPtr plan;
+  double cost = kInf;
+};
+
+struct PlanResult {
+  PhysicalPtr local_plan;  // best plan producing the result on this server
+  double local_cost = kInf;
+  bool remote_ok = false;  // subtree may execute wholly on `remote_server`
+  std::string remote_server;
+  double remote_exec_cost = kInf;  // execution cost there (factor applied)
+  double rows = 1;
+  double row_bytes = 32;
+  const LogicalOp* logical = nullptr;  // for unparsing when shipped
+};
+
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const OptimizerOptions& options,
+          bool pretend_local, int* alternatives)
+      : catalog_(catalog), options_(options), pretend_local_(pretend_local),
+        alternatives_(alternatives) {}
+
+  StatusOr<PlanResult> Plan(const LogicalOp& node);
+
+  /// Enforces DataLocation = Local: picks the cheaper of the local plan and
+  /// shipping the whole subtree (RemoteQuery + transfer cost).
+  StatusOr<PlanChoice> DeliverLocal(PlanResult result) {
+    double remote_total = kInf;
+    if (result.remote_ok) {
+      remote_total = result.remote_exec_cost +
+                     CostModel::TransferCost(result.rows, result.row_bytes);
+    }
+    if (result.local_cost <= remote_total) {
+      if (result.local_plan == nullptr) {
+        return Status::Internal("no viable plan for subexpression");
+      }
+      return PlanChoice{std::move(result.local_plan), result.local_cost};
+    }
+    auto remote = std::make_unique<PhysRemoteQuery>();
+    remote->server = result.remote_server;
+    MT_ASSIGN_OR_RETURN(remote->sql, LogicalToSql(*result.logical));
+    remote->schema = result.logical->schema;
+    remote->est_rows = result.rows;
+    remote->est_cost = remote_total;
+    return PlanChoice{std::move(remote), remote_total};
+  }
+
+  StatusOr<double> DeliveredCost(const LogicalOp& node) {
+    MT_ASSIGN_OR_RETURN(PlanResult result, Plan(node));
+    MT_ASSIGN_OR_RETURN(PlanChoice choice, DeliverLocal(std::move(result)));
+    return choice.cost;
+  }
+
+ private:
+  // Whether this Get can be scanned on this server.
+  bool LocallyPlannable(const LogicalGet& get) const {
+    if (get.table.empty()) return true;  // dual
+    if (get.def == nullptr) return false;
+    if (pretend_local_) return true;
+    return get.server.empty() && !get.def->shadow;
+  }
+
+  // If the whole subtree can execute on one remote server, returns its name.
+  std::optional<std::string> ShipServer(const LogicalOp& node) const {
+    if (pretend_local_) return std::nullopt;
+    if (!IsUnparsable(node)) return std::nullopt;
+    std::optional<std::string> server;
+    bool ok = true;
+    CollectShipServer(node, &server, &ok);
+    if (!ok || !server.has_value()) return std::nullopt;
+    return server;
+  }
+
+  void CollectShipServer(const LogicalOp& node,
+                         std::optional<std::string>* server, bool* ok) const {
+    if (!*ok) return;
+    if (node.kind == LogicalKind::kGet) {
+      const auto& get = static_cast<const LogicalGet&>(node);
+      std::string target;
+      if (!get.server.empty()) {
+        target = get.server;
+      } else if (get.def != nullptr && get.def->shadow &&
+                 !get.def->home_server.empty()) {
+        // A cache server may shadow tables from several backends (§3);
+        // each shadow table knows its home.
+        target = get.def->home_server;
+      } else if (get.def != nullptr && get.def->shadow &&
+                 !options_.backend_server.empty()) {
+        target = options_.backend_server;
+      } else {
+        *ok = false;  // local-only data source
+        return;
+      }
+      if (server->has_value() && **server != target) {
+        *ok = false;
+        return;
+      }
+      *server = target;
+    }
+    for (const auto& child : node.children) CollectShipServer(*child, server, ok);
+  }
+
+  StatusOr<double> PretendCost(const LogicalOp& node) {
+    Planner remote_planner(catalog_, options_, /*pretend_local=*/true,
+                           alternatives_);
+    MT_ASSIGN_OR_RETURN(PlanResult result, remote_planner.Plan(node));
+    if (result.local_plan == nullptr) {
+      return Status::Internal("remote cost estimation failed");
+    }
+    return result.local_cost;
+  }
+
+  StatusOr<PlanChoice> PlanSite(const LogicalGet& get,
+                                const BoundExpr* predicate);
+  StatusOr<PlanChoice> ScanAlternatives(const LogicalGet& get,
+                                        const BoundExpr* predicate);
+
+  const Catalog* catalog_;
+  const OptimizerOptions& options_;
+  bool pretend_local_;
+  int* alternatives_;
+};
+
+StatusOr<PlanChoice> Planner::ScanAlternatives(const LogicalGet& get,
+                                               const BoundExpr* predicate) {
+  RelStats stats = EstimateLogical(get);
+  double rows = stats.rows;
+  double total_sel =
+      predicate != nullptr ? EstimateSelectivity(*predicate, stats) : 1.0;
+  double out_rows = std::max(rows * total_sel, 0.5);
+
+  std::vector<const BoundExpr*> conjuncts;
+  if (predicate != nullptr) CollectConjuncts(*predicate, &conjuncts);
+
+  // --- Alternative 1: sequential scan + filter. ---
+  PlanChoice best;
+  {
+    auto scan = std::make_unique<PhysSeqScan>();
+    scan->def = get.def;
+    scan->schema = get.schema;
+    scan->est_rows = rows;
+    scan->est_cost = rows * CostModel::kSeqRowCost;
+    PhysicalPtr plan = std::move(scan);
+    double cost = rows * CostModel::kSeqRowCost;
+    if (predicate != nullptr) {
+      cost += rows * CostModel::kFilterRowCost;
+      auto filter = std::make_unique<PhysFilter>();
+      filter->predicate = CloneBound(*predicate);
+      filter->schema = get.schema;
+      filter->est_rows = out_rows;
+      filter->est_cost = cost;
+      filter->children.push_back(std::move(plan));
+      plan = std::move(filter);
+    }
+    best.plan = std::move(plan);
+    best.cost = cost;
+    ++*alternatives_;
+  }
+
+  // --- Alternative 2..n: index seeks. ---
+  if (get.def != nullptr) {
+    std::vector<SimpleConjunct> simple;
+    for (const BoundExpr* c : conjuncts) {
+      SimpleConjunct sc;
+      if (ExtractSimpleConjunct(*c, &sc)) simple.push_back(sc);
+    }
+    for (size_t idx = 0; idx < get.def->indexes.size(); ++idx) {
+      const IndexDef& index = get.def->indexes[idx];
+      std::vector<const SimpleConjunct*> used;
+      std::vector<BExprPtr> eq_prefix;
+      BExprPtr lo;
+      BExprPtr hi;
+      bool lo_incl = true;
+      bool hi_incl = true;
+      for (size_t k = 0; k < index.key_columns.size(); ++k) {
+        int col = index.key_columns[k];
+        const SimpleConjunct* eq = nullptr;
+        for (const SimpleConjunct& sc : simple) {
+          if (sc.column == col && sc.op == CompareOp::kEq) {
+            eq = &sc;
+            break;
+          }
+        }
+        if (eq != nullptr) {
+          const auto& bin = static_cast<const BoundBinary&>(*eq->source);
+          // Clone the non-column side.
+          const BoundExpr* rhs =
+              bin.left->kind == BoundExprKind::kColumnRef ? bin.right.get()
+                                                          : bin.left.get();
+          if (!IsRowFree(*rhs)) break;
+          eq_prefix.push_back(CloneBound(*rhs));
+          used.push_back(eq);
+          continue;
+        }
+        // Range on this column ends the prefix.
+        for (const SimpleConjunct& sc : simple) {
+          if (sc.column != col) continue;
+          const auto& bin = static_cast<const BoundBinary&>(*sc.source);
+          const BoundExpr* rhs =
+              bin.left->kind == BoundExprKind::kColumnRef ? bin.right.get()
+                                                          : bin.left.get();
+          if (!IsRowFree(*rhs)) continue;
+          if ((sc.op == CompareOp::kGt || sc.op == CompareOp::kGe) && !lo) {
+            lo = CloneBound(*rhs);
+            lo_incl = sc.op == CompareOp::kGe;
+            used.push_back(&sc);
+          } else if ((sc.op == CompareOp::kLt || sc.op == CompareOp::kLe) &&
+                     !hi) {
+            hi = CloneBound(*rhs);
+            hi_incl = sc.op == CompareOp::kLe;
+            used.push_back(&sc);
+          }
+        }
+        break;
+      }
+      if (eq_prefix.empty() && !lo && !hi) continue;
+
+      double seek_sel = 1.0;
+      for (const SimpleConjunct* sc : used) {
+        seek_sel *= EstimateSelectivity(*sc->source, stats);
+      }
+      double fetched = std::max(rows * seek_sel, 0.5);
+      double cost = CostModel::kIndexSeekCost + fetched * CostModel::kIndexRowCost;
+
+      auto seek = std::make_unique<PhysIndexSeek>();
+      seek->def = get.def;
+      seek->index_ordinal = static_cast<int>(idx);
+      seek->eq_prefix = std::move(eq_prefix);
+      seek->lo = std::move(lo);
+      seek->hi = std::move(hi);
+      seek->lo_inclusive = lo_incl;
+      seek->hi_inclusive = hi_incl;
+      seek->schema = get.schema;
+      seek->est_rows = fetched;
+      seek->est_cost = cost;
+      PhysicalPtr plan = std::move(seek);
+
+      // Residual: every conjunct not used by the seek.
+      std::vector<BExprPtr> residual;
+      for (const BoundExpr* c : conjuncts) {
+        bool was_used = false;
+        for (const SimpleConjunct* sc : used) {
+          if (sc->source == c) {
+            was_used = true;
+            break;
+          }
+        }
+        if (!was_used) residual.push_back(CloneBound(*c));
+      }
+      if (!residual.empty()) {
+        cost += fetched * CostModel::kFilterRowCost;
+        auto filter = std::make_unique<PhysFilter>();
+        filter->predicate = AndTogether(std::move(residual));
+        filter->schema = get.schema;
+        filter->est_rows = out_rows;
+        filter->est_cost = cost;
+        filter->children.push_back(std::move(plan));
+        plan = std::move(filter);
+      }
+      ++*alternatives_;
+      if (cost < best.cost) {
+        best.plan = std::move(plan);
+        best.cost = cost;
+      }
+    }
+  }
+  return best;
+}
+
+StatusOr<PlanChoice> Planner::PlanSite(const LogicalGet& get,
+                                       const BoundExpr* predicate) {
+  return ScanAlternatives(get, predicate);
+}
+
+StatusOr<PlanResult> Planner::Plan(const LogicalOp& node) {
+  PlanResult result;
+  result.logical = &node;
+  RelStats stats = EstimateLogical(node);
+  result.rows = stats.rows;
+  result.row_bytes = EstimateRowBytes(node.schema);
+  if (node.kind == LogicalKind::kGet) {
+    const auto& get = static_cast<const LogicalGet&>(node);
+    if (get.def != nullptr && !get.def->stats.empty()) {
+      result.row_bytes = get.def->stats.avg_row_bytes;
+    }
+  }
+
+  // Remote option: the whole subtree executes on one remote server. Cost is
+  // what that server's optimizer would estimate — we shadow its catalog and
+  // statistics, so we estimate by planning "pretend local" (§5: local
+  // optimization instead of remote optimization), scaled by the load factor.
+  std::optional<std::string> ship = ShipServer(node);
+  if (ship.has_value()) {
+    auto cost = PretendCost(node);
+    if (cost.ok()) {
+      result.remote_ok = true;
+      result.remote_server = *ship;
+      result.remote_exec_cost = *cost * options_.remote_cost_factor;
+    }
+  }
+
+  // Local option.
+  switch (node.kind) {
+    case LogicalKind::kGet: {
+      const auto& get = static_cast<const LogicalGet&>(node);
+      if (get.table.empty()) {
+        auto dual = std::make_unique<PhysDualScan>();
+        dual->schema = node.schema;
+        dual->est_rows = 1;
+        dual->est_cost = 1;
+        result.local_plan = std::move(dual);
+        result.local_cost = 1;
+        return result;
+      }
+      if (!LocallyPlannable(get)) return result;  // remote only
+      MT_ASSIGN_OR_RETURN(PlanChoice choice, PlanSite(get, nullptr));
+      result.local_plan = std::move(choice.plan);
+      result.local_cost = choice.cost;
+      return result;
+    }
+    case LogicalKind::kFilter: {
+      const auto& filter = static_cast<const LogicalFilter&>(node);
+      // Access-path selection when filtering directly over a scannable Get.
+      if (node.children[0]->kind == LogicalKind::kGet) {
+        const auto& get = static_cast<const LogicalGet&>(*node.children[0]);
+        if (!get.table.empty() && LocallyPlannable(get)) {
+          MT_ASSIGN_OR_RETURN(PlanChoice choice,
+                              PlanSite(get, filter.predicate.get()));
+          result.local_plan = std::move(choice.plan);
+          result.local_cost = choice.cost;
+          return result;
+        }
+      }
+      MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
+      double child_rows = child.rows;
+      MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
+      double cost = delivered.cost + child_rows * CostModel::kFilterRowCost;
+      auto phys = std::make_unique<PhysFilter>();
+      phys->predicate = CloneBound(*filter.predicate);
+      phys->schema = node.schema;
+      phys->est_rows = result.rows;
+      phys->est_cost = cost;
+      phys->children.push_back(std::move(delivered.plan));
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      return result;
+    }
+    case LogicalKind::kProject: {
+      const auto& project = static_cast<const LogicalProject&>(node);
+      MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
+      MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
+      double cost = delivered.cost + result.rows * CostModel::kProjectRowCost;
+      auto phys = std::make_unique<PhysProject>();
+      for (const auto& e : project.exprs) phys->exprs.push_back(CloneBound(*e));
+      phys->schema = node.schema;
+      phys->est_rows = result.rows;
+      phys->est_cost = cost;
+      phys->children.push_back(std::move(delivered.plan));
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      return result;
+    }
+    case LogicalKind::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(node);
+      MT_ASSIGN_OR_RETURN(PlanResult left, Plan(*node.children[0]));
+      MT_ASSIGN_OR_RETURN(PlanResult right, Plan(*node.children[1]));
+      double left_rows = left.rows;
+      double right_rows = right.rows;
+      MT_ASSIGN_OR_RETURN(PlanChoice lplan, DeliverLocal(std::move(left)));
+      MT_ASSIGN_OR_RETURN(PlanChoice rplan, DeliverLocal(std::move(right)));
+
+      int left_width = node.children[0]->schema.num_columns();
+      // Extract equi-join keys crossing the boundary.
+      std::vector<int> probe_keys;
+      std::vector<int> build_keys;
+      std::vector<BExprPtr> residual;
+      if (join.condition != nullptr) {
+        std::vector<const BoundExpr*> conjuncts;
+        CollectConjuncts(*join.condition, &conjuncts);
+        for (const BoundExpr* c : conjuncts) {
+          bool is_key = false;
+          if (c->kind == BoundExprKind::kBinary) {
+            const auto& bin = static_cast<const BoundBinary&>(*c);
+            if (bin.op == BinaryOp::kEq &&
+                bin.left->kind == BoundExprKind::kColumnRef &&
+                bin.right->kind == BoundExprKind::kColumnRef) {
+              int a = static_cast<const BoundColumnRef&>(*bin.left).ordinal;
+              int b = static_cast<const BoundColumnRef&>(*bin.right).ordinal;
+              if (a < left_width && b >= left_width) {
+                probe_keys.push_back(a);
+                build_keys.push_back(b - left_width);
+                is_key = true;
+              } else if (b < left_width && a >= left_width) {
+                probe_keys.push_back(b);
+                build_keys.push_back(a - left_width);
+                is_key = true;
+              }
+            }
+          }
+          if (!is_key) residual.push_back(CloneBound(*c));
+        }
+      }
+
+      // Alternative: index nested-loop join, when the inner (right) side is
+      // a scannable (possibly filtered) table with an index led by the join
+      // column. This is how point joins (item->author etc.) should run.
+      struct InnerAccess {
+        const LogicalGet* get = nullptr;
+        const BoundExpr* predicate = nullptr;
+        const LogicalProject* project = nullptr;
+        std::vector<int> out_to_inner;  // project output -> inner ordinal
+      };
+      InnerAccess inner;
+      {
+        const LogicalOp* right_node = node.children[1].get();
+        // See through a pure remap/null-pad Project (view substitution).
+        if (right_node->kind == LogicalKind::kProject) {
+          const auto* project =
+              static_cast<const LogicalProject*>(right_node);
+          bool pure = true;
+          std::vector<int> mapping;
+          for (const auto& e : project->exprs) {
+            if (e->kind == BoundExprKind::kColumnRef) {
+              mapping.push_back(
+                  static_cast<const BoundColumnRef&>(*e).ordinal);
+            } else if (e->kind == BoundExprKind::kLiteral) {
+              mapping.push_back(-1);
+            } else {
+              pure = false;
+              break;
+            }
+          }
+          if (pure) {
+            inner.project = project;
+            inner.out_to_inner = std::move(mapping);
+            right_node = right_node->children[0].get();
+          }
+        }
+        if (right_node->kind == LogicalKind::kFilter &&
+            right_node->children[0]->kind == LogicalKind::kGet) {
+          inner.predicate =
+              static_cast<const LogicalFilter*>(right_node)->predicate.get();
+          right_node = right_node->children[0].get();
+        }
+        if (right_node->kind == LogicalKind::kGet) {
+          const auto& get = static_cast<const LogicalGet&>(*right_node);
+          if (!get.table.empty() && LocallyPlannable(get) &&
+              get.def != nullptr) {
+            inner.get = &get;
+          }
+        }
+      }
+      PhysicalPtr inlj_plan;
+      double inlj_cost = kInf;
+      if (inner.get != nullptr && !probe_keys.empty()) {
+        for (size_t idx = 0; idx < inner.get->def->indexes.size(); ++idx) {
+          const IndexDef& index = inner.get->def->indexes[idx];
+          for (size_t k = 0; k < probe_keys.size(); ++k) {
+            // Map the join key through the projection, if any.
+            int inner_key = build_keys[k];
+            if (inner.project != nullptr) {
+              if (inner_key >= static_cast<int>(inner.out_to_inner.size()) ||
+                  inner.out_to_inner[inner_key] < 0) {
+                continue;
+              }
+              inner_key = inner.out_to_inner[inner_key];
+            }
+            if (index.key_columns.empty() ||
+                index.key_columns[0] != inner_key) {
+              continue;
+            }
+            RelStats inner_stats = EstimateLogical(*inner.get);
+            double ndv = 1;
+            if (inner_key >= 0 &&
+                inner_key < static_cast<int>(inner_stats.cols.size())) {
+              ndv = std::max(inner_stats.cols[inner_key].ndv, 1.0);
+            }
+            double per_probe = inner_stats.rows / ndv;
+            double pred_sel =
+                inner.predicate != nullptr
+                    ? EstimateSelectivity(*inner.predicate, inner_stats)
+                    : 1.0;
+            double cost =
+                lplan.cost +
+                left_rows * (CostModel::kIndexSeekCost +
+                             per_probe * (CostModel::kIndexRowCost +
+                                          CostModel::kFilterRowCost));
+            ++*alternatives_;
+            if (cost >= inlj_cost) continue;
+            auto phys = std::make_unique<PhysIndexNLJoin>();
+            phys->join_kind = join.join_kind;
+            phys->inner_def = inner.get->def;
+            phys->index_ordinal = static_cast<int>(idx);
+            phys->outer_key = probe_keys[k];
+            phys->inner_predicate = inner.predicate != nullptr
+                                        ? CloneBound(*inner.predicate)
+                                        : nullptr;
+            if (inner.project != nullptr) {
+              for (const auto& e : inner.project->exprs) {
+                phys->inner_projection.push_back(CloneBound(*e));
+              }
+            }
+            // Residual: every other join conjunct (including other key
+            // equalities) evaluated over the concatenated row.
+            std::vector<BExprPtr> inlj_residual;
+            for (const auto& r : residual) {
+              inlj_residual.push_back(CloneBound(*r));
+            }
+            for (size_t j = 0; j < probe_keys.size(); ++j) {
+              if (j == k) continue;
+              inlj_residual.push_back(std::make_unique<BoundBinary>(
+                  BinaryOp::kEq,
+                  std::make_unique<BoundColumnRef>(probe_keys[j],
+                                                   TypeId::kNull, "lk"),
+                  std::make_unique<BoundColumnRef>(build_keys[j] + left_width,
+                                                   TypeId::kNull, "rk"),
+                  TypeId::kBool));
+            }
+            phys->residual = AndTogether(std::move(inlj_residual));
+            phys->schema = node.schema;
+            phys->est_rows = result.rows * pred_sel;
+            phys->est_cost = cost;
+            // The plan owns only the outer child; lplan was moved for the
+            // first alternative, so clone via re-plan is avoided by deciding
+            // before moving (see ordering below).
+            inlj_plan = std::move(phys);
+            inlj_cost = cost;
+            break;
+          }
+        }
+      }
+
+      ++*alternatives_;
+      if (!probe_keys.empty()) {
+        double hash_cost = lplan.cost + rplan.cost +
+                           right_rows * CostModel::kHashBuildRowCost +
+                           left_rows * CostModel::kHashProbeRowCost +
+                           result.rows * CostModel::kFilterRowCost;
+        // Commuted alternative (inner joins only): build on the LEFT input
+        // and probe with the right, restoring column order with a Project.
+        double swapped_cost = kInf;
+        if (join.join_kind == JoinKind::kInner) {
+          ++*alternatives_;
+          swapped_cost = lplan.cost + rplan.cost +
+                         left_rows * CostModel::kHashBuildRowCost +
+                         right_rows * CostModel::kHashProbeRowCost +
+                         result.rows *
+                             (CostModel::kFilterRowCost +
+                              CostModel::kProjectRowCost);
+        }
+        if (inlj_plan != nullptr && inlj_cost < hash_cost &&
+            inlj_cost < swapped_cost) {
+          inlj_plan->children.push_back(std::move(lplan.plan));
+          result.local_plan = std::move(inlj_plan);
+          result.local_cost = inlj_cost;
+          return result;
+        }
+        if (swapped_cost < hash_cost) {
+          int right_width = node.children[1]->schema.num_columns();
+          auto phys = std::make_unique<PhysHashJoin>();
+          phys->join_kind = JoinKind::kInner;
+          // Probe = right input, build = left input; keys swap roles and the
+          // residual's ordinals are remapped to (right, left) order.
+          phys->probe_keys = build_keys;
+          phys->build_keys = probe_keys;
+          std::vector<BExprPtr> swapped_residual;
+          for (auto& r : residual) {
+            // old ordinal o: o < left_width -> o + right_width (left now
+            // second); else o - left_width (right now first).
+            std::vector<int> mapping(left_width + right_width);
+            for (int o = 0; o < left_width; ++o) mapping[o] = o + right_width;
+            for (int o = 0; o < right_width; ++o) {
+              mapping[left_width + o] = o;
+            }
+            BExprPtr copy = CloneBound(*r);
+            RemapColumnRefs(copy.get(), mapping);
+            swapped_residual.push_back(std::move(copy));
+          }
+          phys->residual = AndTogether(std::move(swapped_residual));
+          phys->schema =
+              Schema::Concat(node.children[1]->schema, node.children[0]->schema);
+          phys->est_rows = result.rows;
+          phys->est_cost = swapped_cost;
+          phys->children.push_back(std::move(rplan.plan));  // probe
+          phys->children.push_back(std::move(lplan.plan));  // build
+          // Restore (left, right) column order for the parent.
+          auto project = std::make_unique<PhysProject>();
+          for (int o = 0; o < left_width; ++o) {
+            const ColumnInfo& col = node.children[0]->schema.column(o);
+            project->exprs.push_back(std::make_unique<BoundColumnRef>(
+                right_width + o, col.type, col.name));
+          }
+          for (int o = 0; o < right_width; ++o) {
+            const ColumnInfo& col = node.children[1]->schema.column(o);
+            project->exprs.push_back(
+                std::make_unique<BoundColumnRef>(o, col.type, col.name));
+          }
+          project->schema = node.schema;
+          project->est_rows = result.rows;
+          project->est_cost = swapped_cost;
+          project->children.push_back(std::move(phys));
+          result.local_plan = std::move(project);
+          result.local_cost = swapped_cost;
+          return result;
+        }
+        auto phys = std::make_unique<PhysHashJoin>();
+        phys->join_kind = join.join_kind;
+        phys->probe_keys = std::move(probe_keys);
+        phys->build_keys = std::move(build_keys);
+        phys->residual = AndTogether(std::move(residual));
+        phys->schema = node.schema;
+        phys->est_rows = result.rows;
+        phys->est_cost = hash_cost;
+        phys->children.push_back(std::move(lplan.plan));
+        phys->children.push_back(std::move(rplan.plan));
+        result.local_plan = std::move(phys);
+        result.local_cost = hash_cost;
+      } else {
+        double cost = lplan.cost + rplan.cost +
+                      left_rows * right_rows * CostModel::kNLInnerRowCost;
+        auto phys = std::make_unique<PhysNLJoin>();
+        phys->join_kind = join.join_kind;
+        phys->condition =
+            join.condition != nullptr ? CloneBound(*join.condition) : nullptr;
+        phys->schema = node.schema;
+        phys->est_rows = result.rows;
+        phys->est_cost = cost;
+        phys->children.push_back(std::move(lplan.plan));
+        phys->children.push_back(std::move(rplan.plan));
+        result.local_plan = std::move(phys);
+        result.local_cost = cost;
+      }
+      return result;
+    }
+    case LogicalKind::kAggregate: {
+      const auto& agg = static_cast<const LogicalAggregate&>(node);
+      MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
+      double child_rows = child.rows;
+      MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
+      double cost = delivered.cost + child_rows * CostModel::kAggRowCost;
+      auto phys = std::make_unique<PhysHashAggregate>();
+      for (const auto& g : agg.group_by) {
+        phys->group_by.push_back(CloneBound(*g));
+      }
+      for (const auto& a : agg.aggs) {
+        AggItem item;
+        item.func = a.func;
+        item.arg = a.arg ? CloneBound(*a.arg) : nullptr;
+        phys->aggs.push_back(std::move(item));
+      }
+      phys->schema = node.schema;
+      phys->est_rows = result.rows;
+      phys->est_cost = cost;
+      phys->children.push_back(std::move(delivered.plan));
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      return result;
+    }
+    case LogicalKind::kSort: {
+      const auto& sort = static_cast<const LogicalSort&>(node);
+      MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
+      double child_rows = child.rows;
+      MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
+      double cost = delivered.cost + CostModel::SortCost(child_rows);
+      auto phys = std::make_unique<PhysSort>();
+      for (const auto& k : sort.keys) {
+        SortKey key;
+        key.expr = CloneBound(*k.expr);
+        key.desc = k.desc;
+        phys->keys.push_back(std::move(key));
+      }
+      phys->schema = node.schema;
+      phys->est_rows = result.rows;
+      phys->est_cost = cost;
+      phys->children.push_back(std::move(delivered.plan));
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      return result;
+    }
+    case LogicalKind::kLimit: {
+      const auto& limit = static_cast<const LogicalLimit&>(node);
+      MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
+      MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
+      auto phys = std::make_unique<PhysLimit>();
+      phys->limit = limit.limit;
+      phys->schema = node.schema;
+      phys->est_rows = result.rows;
+      phys->est_cost = delivered.cost;
+      phys->children.push_back(std::move(delivered.plan));
+      result.local_plan = std::move(phys);
+      result.local_cost = delivered.cost;
+      return result;
+    }
+    case LogicalKind::kDistinct: {
+      MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
+      double child_rows = child.rows;
+      MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
+      double cost = delivered.cost + child_rows * CostModel::kDistinctRowCost;
+      auto phys = std::make_unique<PhysDistinct>();
+      phys->schema = node.schema;
+      phys->est_rows = result.rows;
+      phys->est_cost = cost;
+      phys->children.push_back(std::move(delivered.plan));
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      return result;
+    }
+    case LogicalKind::kChoosePlan: {
+      const auto& choose = static_cast<const LogicalChoosePlan&>(node);
+      MT_ASSIGN_OR_RETURN(PlanResult left, Plan(*node.children[0]));
+      MT_ASSIGN_OR_RETURN(PlanResult right, Plan(*node.children[1]));
+      double rows_l = left.rows;
+      double rows_r = right.rows;
+      MT_ASSIGN_OR_RETURN(PlanChoice lplan, DeliverLocal(std::move(left)));
+      MT_ASSIGN_OR_RETURN(PlanChoice rplan, DeliverLocal(std::move(right)));
+      double p = choose.guard_prob;
+      // §5.1: "the cost of the combined plan is computed as Fl*Cl + (1-Fl)*Cr".
+      double cost = p * lplan.cost + (1 - p) * rplan.cost;
+
+      auto phys = std::make_unique<PhysUnionAll>();
+      phys->schema = node.schema;
+      phys->est_rows = p * rows_l + (1 - p) * rows_r;
+      phys->est_cost = cost;
+      {
+        auto guard_filter = std::make_unique<PhysFilter>();
+        guard_filter->predicate = CloneBound(*choose.guard);
+        guard_filter->startup = true;
+        guard_filter->schema = node.schema;
+        guard_filter->est_rows = rows_l;
+        guard_filter->est_cost = lplan.cost;
+        guard_filter->children.push_back(std::move(lplan.plan));
+        phys->children.push_back(std::move(guard_filter));
+      }
+      {
+        auto guard_filter = std::make_unique<PhysFilter>();
+        guard_filter->predicate = std::make_unique<BoundUnary>(
+            UnaryOp::kNot, CloneBound(*choose.guard), TypeId::kBool);
+        guard_filter->startup = true;
+        guard_filter->schema = node.schema;
+        guard_filter->est_rows = rows_r;
+        guard_filter->est_cost = rplan.cost;
+        guard_filter->children.push_back(std::move(rplan.plan));
+        phys->children.push_back(std::move(guard_filter));
+      }
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      return result;
+    }
+    case LogicalKind::kUnionAll: {
+      const auto& u = static_cast<const LogicalUnionAll&>(node);
+      auto phys = std::make_unique<PhysUnionAll>();
+      phys->schema = node.schema;
+      double cost = 0;
+      double rows = 0;
+      for (size_t i = 0; i < node.children.size(); ++i) {
+        MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[i]));
+        double child_rows = child.rows;
+        MT_ASSIGN_OR_RETURN(PlanChoice delivered,
+                            DeliverLocal(std::move(child)));
+        double prob = i < u.startup_probs.size() ? u.startup_probs[i] : 1.0;
+        cost += prob * delivered.cost;
+        rows += prob * child_rows;
+        if (i < u.startup_preds.size() && u.startup_preds[i] != nullptr) {
+          auto guard_filter = std::make_unique<PhysFilter>();
+          guard_filter->predicate = CloneBound(*u.startup_preds[i]);
+          guard_filter->startup = true;
+          guard_filter->schema = node.schema;
+          guard_filter->est_rows = child_rows;
+          guard_filter->est_cost = delivered.cost;
+          guard_filter->children.push_back(std::move(delivered.plan));
+          phys->children.push_back(std::move(guard_filter));
+        } else {
+          phys->children.push_back(std::move(delivered.plan));
+        }
+      }
+      phys->est_rows = rows;
+      phys->est_cost = cost;
+      result.local_plan = std::move(phys);
+      result.local_cost = cost;
+      result.rows = rows;
+      return result;
+    }
+  }
+  return Status::Internal("unhandled logical operator");
+}
+
+// ---------------------------------------------------------------------------
+// View-matching rewrite driver.
+// ---------------------------------------------------------------------------
+
+// Collects rewrite sites: slots holding Filter(Get) or bare Get.
+void CollectSites(LogicalPtr* slot, std::vector<LogicalPtr*>* sites) {
+  LogicalOp* node = slot->get();
+  if (node->kind == LogicalKind::kGet) {
+    sites->push_back(slot);
+    return;
+  }
+  if (node->kind == LogicalKind::kFilter &&
+      node->children[0]->kind == LogicalKind::kGet) {
+    sites->push_back(slot);
+    return;
+  }
+  for (auto& child : node->children) {
+    CollectSites(&child, sites);
+  }
+}
+
+struct SiteInfo {
+  LogicalGet* get = nullptr;
+  const BoundExpr* predicate = nullptr;  // may be null
+  std::vector<const BoundExpr*> conjuncts;
+};
+
+SiteInfo InspectSite(LogicalPtr* slot) {
+  SiteInfo info;
+  LogicalOp* node = slot->get();
+  if (node->kind == LogicalKind::kGet) {
+    info.get = static_cast<LogicalGet*>(node);
+  } else {
+    auto* filter = static_cast<LogicalFilter*>(node);
+    info.get = static_cast<LogicalGet*>(node->children[0].get());
+    info.predicate = filter->predicate.get();
+    CollectConjuncts(*filter->predicate, &info.conjuncts);
+  }
+  return info;
+}
+
+}  // namespace
+
+StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
+  auto start = std::chrono::steady_clock::now();
+  OptimizeResult out;
+  int alternatives = 0;
+
+  LogicalPtr work = CloneLogical(query);
+  work = Normalize(std::move(work), {});
+
+  if (options_.enable_view_matching) {
+    // Pass 1: unconditional substitutions, chosen cost-based (or forced when
+    // mimicking DBCache-style routing).
+    Planner cmp(catalog_, options_, /*pretend_local=*/false, &alternatives);
+    std::vector<LogicalPtr*> sites;
+    CollectSites(&work, &sites);
+    UsedMap used;
+    ComputeUsed(*work, AllColumns(work->schema), &used);
+    for (LogicalPtr* slot : sites) {
+      SiteInfo info = InspectSite(slot);
+      auto it = used.find(info.get);
+      std::set<int> used_cols =
+          it != used.end() ? it->second : AllColumns(info.get->schema);
+      std::vector<ViewMatch> matches =
+          MatchViews(*info.get, info.conjuncts, used_cols, *catalog_,
+                     options_.allow_mixed_results, options_.max_staleness,
+                     options_.current_time);
+      const ViewMatch* chosen = nullptr;
+      double best_cost = kInf;
+      if (options_.cost_based_routing) {
+        auto original_cost = cmp.DeliveredCost(**slot);
+        if (original_cost.ok()) best_cost = *original_cost;
+      }
+      for (const ViewMatch& m : matches) {
+        if (m.guard != nullptr) continue;  // conditional: pass 2
+        ++alternatives;
+        if (!options_.cost_based_routing) {
+          chosen = &m;
+          break;
+        }
+        auto cost = cmp.DeliveredCost(*m.substitute);
+        if (cost.ok() && *cost < best_cost) {
+          best_cost = *cost;
+          chosen = &m;
+        }
+      }
+      if (chosen != nullptr) {
+        *slot = CloneLogical(*chosen->substitute);
+      }
+    }
+
+    // Pass 2: first conditional (parameterized) match becomes a dynamic plan.
+    if (options_.enable_dynamic_plans) {
+      sites.clear();
+      CollectSites(&work, &sites);
+      used.clear();
+      ComputeUsed(*work, AllColumns(work->schema), &used);
+      for (LogicalPtr* slot : sites) {
+        SiteInfo info = InspectSite(slot);
+        auto it = used.find(info.get);
+        std::set<int> used_cols =
+            it != used.end() ? it->second : AllColumns(info.get->schema);
+        std::vector<ViewMatch> matches =
+            MatchViews(*info.get, info.conjuncts, used_cols, *catalog_,
+                       options_.allow_mixed_results, options_.max_staleness,
+                       options_.current_time);
+        ViewMatch* conditional = nullptr;
+        for (ViewMatch& m : matches) {
+          if (m.guard != nullptr) {
+            conditional = &m;
+            break;
+          }
+        }
+        if (conditional == nullptr) continue;
+        ++alternatives;
+
+        // Candidate A: ChoosePlan. With pull-up, the ChoosePlan floats to
+        // the root so each branch is optimized independently and the remote
+        // branch can ship the largest possible query (§5.1.2).
+        LogicalPtr cp_variant;
+        if (options_.pull_up_chooseplan) {
+          auto cp = std::make_unique<LogicalChoosePlan>();
+          cp->guard = CloneBound(*conditional->guard);
+          cp->guard_prob = conditional->guard_prob;
+          cp->schema = work->schema;
+          LogicalPtr original = CloneLogical(*work);
+          *slot = CloneLogical(*conditional->substitute);
+          cp->children.push_back(std::move(work));
+          cp->children.push_back(std::move(original));
+          cp_variant = std::move(cp);
+        } else {
+          auto cp = std::make_unique<LogicalChoosePlan>();
+          cp->guard = CloneBound(*conditional->guard);
+          cp->guard_prob = conditional->guard_prob;
+          cp->schema = (*slot)->schema;
+          LogicalPtr original_site = CloneLogical(**slot);
+          cp->children.push_back(CloneLogical(*conditional->substitute));
+          cp->children.push_back(std::move(original_site));
+          *slot = std::move(cp);
+          cp_variant = std::move(work);
+        }
+
+        // Candidate B: mixed-result plan (regular matviews only).
+        if (conditional->mixed != nullptr && options_.cost_based_routing) {
+          // Rebuild the original tree with the site replaced by the mixed
+          // UnionAll, and compare costs.
+          LogicalPtr mixed_variant;
+          {
+            // cp_variant holds the tree; locate the equivalent structure is
+            // complex, so instead rebuild from the pull-up fallback branch.
+            const LogicalOp* original_tree =
+                options_.pull_up_chooseplan ? cp_variant->children[1].get()
+                                            : nullptr;
+            if (original_tree != nullptr) {
+              mixed_variant = CloneLogical(*original_tree);
+              std::vector<LogicalPtr*> msites;
+              CollectSites(&mixed_variant, &msites);
+              for (LogicalPtr* mslot : msites) {
+                SiteInfo minfo = InspectSite(mslot);
+                if (minfo.get->table == info.get->table &&
+                    minfo.get->alias == info.get->alias) {
+                  *mslot = CloneLogical(*conditional->mixed);
+                  break;
+                }
+              }
+            }
+          }
+          if (mixed_variant != nullptr) {
+            auto cp_cost = cmp.DeliveredCost(*cp_variant);
+            auto mixed_cost = cmp.DeliveredCost(*mixed_variant);
+            if (cp_cost.ok() && mixed_cost.ok() && *mixed_cost < *cp_cost) {
+              cp_variant = std::move(mixed_variant);
+            }
+          }
+        }
+
+        work = std::move(cp_variant);
+        break;  // one dynamic site per query
+      }
+    }
+  }
+
+  Planner planner(catalog_, options_, /*pretend_local=*/false, &alternatives);
+  MT_ASSIGN_OR_RETURN(PlanResult root, planner.Plan(*work));
+  double root_rows = root.rows;
+  MT_ASSIGN_OR_RETURN(PlanChoice choice, planner.DeliverLocal(std::move(root)));
+
+  out.plan = std::move(choice.plan);
+  out.est_cost = choice.cost;
+  out.est_rows = root_rows;
+  out.plan_size = PhysicalPlanSize(*out.plan);
+  out.alternatives_considered = alternatives;
+
+  // Scan for RemoteQuery / startup predicates.
+  std::vector<const PhysicalOp*> stack = {out.plan.get()};
+  while (!stack.empty()) {
+    const PhysicalOp* op = stack.back();
+    stack.pop_back();
+    if (op->kind == PhysicalKind::kRemoteQuery) out.uses_remote = true;
+    if (op->kind == PhysicalKind::kFilter &&
+        static_cast<const PhysFilter*>(op)->startup) {
+      out.dynamic_plan = true;
+    }
+    for (const auto& child : op->children) stack.push_back(child.get());
+  }
+
+  out.optimize_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  return out;
+}
+
+}  // namespace mtcache

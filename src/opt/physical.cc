@@ -1,0 +1,80 @@
+#include "opt/physical.h"
+
+namespace mtcache {
+
+namespace {
+
+std::string NodeLabel(const PhysicalOp& op) {
+  switch (op.kind) {
+    case PhysicalKind::kDualScan:
+      return "DualScan";
+    case PhysicalKind::kSeqScan:
+      return "SeqScan(" + static_cast<const PhysSeqScan&>(op).def->name + ")";
+    case PhysicalKind::kIndexSeek: {
+      const auto& o = static_cast<const PhysIndexSeek&>(op);
+      return "IndexSeek(" + o.def->name + "." +
+             o.def->indexes[o.index_ordinal].name + ")";
+    }
+    case PhysicalKind::kFilter: {
+      const auto& o = static_cast<const PhysFilter&>(op);
+      return std::string(o.startup ? "StartupFilter(" : "Filter(") +
+             BoundToSql(*o.predicate) + ")";
+    }
+    case PhysicalKind::kProject:
+      return "Project";
+    case PhysicalKind::kNLJoin: {
+      const auto& o = static_cast<const PhysNLJoin&>(op);
+      return o.join_kind == JoinKind::kInner ? "NLJoin" : "NLJoin[left outer]";
+    }
+    case PhysicalKind::kIndexNLJoin: {
+      const auto& o = static_cast<const PhysIndexNLJoin&>(op);
+      std::string label = "IndexNLJoin(" + o.inner_def->name + "." +
+                          o.inner_def->indexes[o.index_ordinal].name + ")";
+      if (o.join_kind == JoinKind::kLeftOuter) label += "[left outer]";
+      return label;
+    }
+    case PhysicalKind::kHashJoin: {
+      const auto& o = static_cast<const PhysHashJoin&>(op);
+      return o.join_kind == JoinKind::kInner ? "HashJoin"
+                                             : "HashJoin[left outer]";
+    }
+    case PhysicalKind::kHashAggregate:
+      return "HashAggregate";
+    case PhysicalKind::kSort:
+      return "Sort";
+    case PhysicalKind::kLimit:
+      return "Limit(" +
+             std::to_string(static_cast<const PhysLimit&>(op).limit) + ")";
+    case PhysicalKind::kDistinct:
+      return "Distinct";
+    case PhysicalKind::kUnionAll:
+      return "UnionAll";
+    case PhysicalKind::kRemoteQuery: {
+      const auto& o = static_cast<const PhysRemoteQuery&>(op);
+      return "RemoteQuery[" + o.server + "](" + o.sql + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PhysicalToString(const PhysicalOp& op, int indent) {
+  std::string out(indent * 2, ' ');
+  out += NodeLabel(op);
+  out += "  rows=" + std::to_string(static_cast<int64_t>(op.est_rows));
+  out += " cost=" + std::to_string(op.est_cost);
+  out += "\n";
+  for (const auto& child : op.children) {
+    out += PhysicalToString(*child, indent + 1);
+  }
+  return out;
+}
+
+int PhysicalPlanSize(const PhysicalOp& op) {
+  int n = 1;
+  for (const auto& child : op.children) n += PhysicalPlanSize(*child);
+  return n;
+}
+
+}  // namespace mtcache

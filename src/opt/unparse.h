@@ -1,0 +1,25 @@
+#ifndef MTCACHE_OPT_UNPARSE_H_
+#define MTCACHE_OPT_UNPARSE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "opt/logical.h"
+
+namespace mtcache {
+
+/// Renders a logical subtree as SQL text. This is how remote subexpressions
+/// travel: "every subexpression rooted by a DataTransfer operator is
+/// converted to a (textual) SQL query and sent to the backend server where
+/// it will be parsed and optimized again" (§5). Each subquery level aliases
+/// its outputs c0..cN so ordinals survive the round trip. Parameters are
+/// shipped as @names and forwarded with the query.
+StatusOr<std::string> LogicalToSql(const LogicalOp& op);
+
+/// True if the subtree consists solely of operators the unparser handles
+/// (Get/Filter/Project/Join/Aggregate/Sort/Limit/Distinct over base tables).
+bool IsUnparsable(const LogicalOp& op);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_OPT_UNPARSE_H_

@@ -1,0 +1,63 @@
+#ifndef MTCACHE_OPT_VIEW_MATCHING_H_
+#define MTCACHE_OPT_VIEW_MATCHING_H_
+
+#include <set>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "opt/logical.h"
+
+namespace mtcache {
+
+/// A conjunct reduced to `column op (literal | parameter)` form. View
+/// matching and index selection both work on these.
+struct SimpleConjunct {
+  int column = -1;          // ordinal in the table / input schema
+  CompareOp op = CompareOp::kEq;
+  bool rhs_is_param = false;
+  Value literal;            // when !rhs_is_param
+  std::string param_name;   // when rhs_is_param
+  const BoundExpr* source = nullptr;  // the original conjunct
+};
+
+/// Extracts `col op rhs` (flipping sides if needed). Returns false when the
+/// conjunct does not have that shape.
+bool ExtractSimpleConjunct(const BoundExpr& conjunct, SimpleConjunct* out);
+
+/// One way to answer a table access from a materialized view (§5 view
+/// matching, after [10]).
+struct ViewMatch {
+  const TableDef* view = nullptr;
+  /// Parameter-only predicate that must hold for the view to contain all
+  /// required rows. Null = unconditional containment.
+  BExprPtr guard;
+  /// Estimated P(guard true), from the uniform-parameter assumption (§5.1).
+  double guard_prob = 1.0;
+  /// Replacement subtree producing exactly the original site's schema
+  /// (unused base columns are null-padded).
+  LogicalPtr substitute;
+  /// For regular matviews with a single range guard: a mixed-result plan
+  /// (Figure 3) that reads the view and tops up from the base table. Null
+  /// for cached views — mixed results could be transactionally inconsistent
+  /// (§5.1.1) — and whenever the shape doesn't allow it.
+  LogicalPtr mixed;
+};
+
+/// Finds every view in `catalog` that can answer a scan of `get` filtered by
+/// `conjuncts`, where ancestors reference only `used_columns` of the get's
+/// output. `site` is the original Filter(Get) subtree (cloned into ChoosePlan
+/// fallbacks by the caller).
+/// `max_staleness`/`now`: when max_staleness >= 0, cached views whose
+/// freshness_time lags `now` by more than that are skipped (§7 freshness
+/// extension); regular matviews are synchronously maintained and always
+/// qualify.
+std::vector<ViewMatch> MatchViews(const LogicalGet& get,
+                                  const std::vector<const BoundExpr*>& conjuncts,
+                                  const std::set<int>& used_columns,
+                                  const Catalog& catalog,
+                                  bool allow_mixed_results,
+                                  double max_staleness = -1, double now = 0);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_OPT_VIEW_MATCHING_H_

@@ -1,0 +1,287 @@
+#include "repl/replication.h"
+
+#include "opt/cost_model.h"
+
+namespace mtcache {
+
+void ReplicationSystem::AddPublisher(Server* publisher) {
+  if (publishers_.count(publisher) > 0) return;
+  PublisherState state;
+  state.server = publisher;
+  state.next_lsn = publisher->db().log().next_lsn();
+  publishers_[publisher] = std::move(state);
+}
+
+StatusOr<int64_t> ReplicationSystem::Subscribe(Server* publisher,
+                                               const Article& article,
+                                               Server* subscriber,
+                                               const std::string& target_table) {
+  AddPublisher(publisher);
+  const TableDef* base =
+      publisher->db().catalog().GetTable(article.def.base_table);
+  if (base == nullptr) {
+    return Status::NotFound("published table not found: " +
+                            article.def.base_table);
+  }
+  for (const std::string& col : article.def.columns) {
+    if (base->ColumnOrdinal(col) < 0) {
+      return Status::InvalidArgument("article column not in table: " + col);
+    }
+  }
+  if (subscriber->db().GetStoredTable(target_table) == nullptr) {
+    return Status::NotFound("subscription target table not found: " +
+                            target_table);
+  }
+  auto sub = std::make_unique<Subscription>();
+  sub->id = next_subscription_id_++;
+  sub->publisher = publisher;
+  sub->article = article;
+  sub->subscriber = subscriber;
+  sub->target_table = target_table;
+  sub->start_lsn = publisher->db().log().next_lsn();
+  int64_t id = sub->id;
+  subscriptions_[id] = std::move(sub);
+  return id;
+}
+
+Status ReplicationSystem::Unsubscribe(int64_t subscription_id) {
+  if (subscriptions_.erase(subscription_id) == 0) {
+    return Status::NotFound("unknown subscription");
+  }
+  return Status::Ok();
+}
+
+Status ReplicationSystem::RunLogReader(Server* publisher,
+                                       ExecStats* publisher_stats) {
+  if (!log_reader_enabled_) return Status::Ok();
+  auto it = publishers_.find(publisher);
+  if (it == publishers_.end()) {
+    return Status::NotFound("server is not a registered publisher");
+  }
+  PublisherState& state = it->second;
+  std::vector<LogRecord> records;
+  state.next_lsn = publisher->db().log().ReadFrom(state.next_lsn, &records);
+
+  for (LogRecord& rec : records) {
+    ++metrics_.records_scanned;
+    if (publisher_stats != nullptr) {
+      publisher_stats->local_cost += CostModel::kLogReadRecordCost;
+    }
+    switch (rec.type) {
+      case LogRecordType::kBegin:
+        state.open_txns[rec.txn];  // start accumulating
+        break;
+      case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
+      case LogRecordType::kUpdate:
+        state.open_txns[rec.txn].push_back(std::move(rec));
+        break;
+      case LogRecordType::kAbort:
+        state.open_txns.erase(rec.txn);
+        break;
+      case LogRecordType::kCommit: {
+        auto txn_it = state.open_txns.find(rec.txn);
+        if (txn_it == state.open_txns.end()) break;
+        std::vector<LogRecord> changes = std::move(txn_it->second);
+        state.open_txns.erase(txn_it);
+        // Filter and project per subscription (the distributor's job).
+        for (auto& [id, sub] : subscriptions_) {
+          if (sub->publisher != publisher) continue;
+          const SelectProjectDef& def = sub->article.def;
+          const TableDef* base =
+              publisher->db().catalog().GetTable(def.base_table);
+          if (base == nullptr) continue;
+          std::vector<int> pred_cols;
+          for (const SimplePredicate& pred : def.predicates) {
+            pred_cols.push_back(base->ColumnOrdinal(pred.column));
+          }
+          auto project = [&](const Row& row) {
+            Row out;
+            for (const std::string& col : def.columns) {
+              out.push_back(row[base->ColumnOrdinal(col)]);
+            }
+            return out;
+          };
+          PendingTxn pending;
+          pending.source_txn = rec.txn;
+          pending.commit_time = rec.commit_time;
+          for (const LogRecord& change : changes) {
+            if (change.table != def.base_table) continue;
+            // Changes predating the subscription's snapshot are already in
+            // the initial copy.
+            if (change.lsn < sub->start_lsn) continue;
+            bool before_in = change.type != LogRecordType::kInsert &&
+                             def.RowMatches(pred_cols, change.before);
+            bool after_in = change.type != LogRecordType::kDelete &&
+                            def.RowMatches(pred_cols, change.after);
+            ReplChange out;
+            if (!before_in && after_in) {
+              out.op = LogRecordType::kInsert;
+              out.after = project(change.after);
+            } else if (before_in && !after_in) {
+              out.op = LogRecordType::kDelete;
+              out.before = project(change.before);
+            } else if (before_in && after_in) {
+              out.op = LogRecordType::kUpdate;
+              out.before = project(change.before);
+              out.after = project(change.after);
+            } else {
+              continue;  // change entirely outside the article
+            }
+            pending.changes.push_back(std::move(out));
+            ++metrics_.changes_enqueued;
+            if (publisher_stats != nullptr) {
+              publisher_stats->local_cost += CostModel::kDistributeRecordCost;
+            }
+          }
+          if (!pending.changes.empty()) {
+            sub->queue.push_back(std::move(pending));
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  // Processed records are no longer needed: "once changes have been
+  // propagated to all subscribers, they are deleted" — here the distribution
+  // database owns them, so the publisher log can truncate.
+  if (state.open_txns.empty()) {
+    publisher->db().log().TruncateBefore(state.next_lsn);
+    state.last_scan_time = clock_ != nullptr ? clock_->Now() : 0.0;
+  }
+  return Status::Ok();
+}
+
+Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
+                                   ExecStats* stats) {
+  Database& db = sub->subscriber->db();
+  StoredTable* table = db.GetStoredTable(sub->target_table);
+  if (table == nullptr) {
+    return Status::NotFound("subscription target table vanished: " +
+                            sub->target_table);
+  }
+  const TableDef& def = table->def();
+
+  // Locate a target row by primary key values extracted from an image.
+  auto key_of = [&](const Row& image) {
+    Row key;
+    for (int ord : def.primary_key) key.push_back(image[ord]);
+    return key;
+  };
+  auto find_row = [&](const Row& image) -> RowId {
+    if (def.indexes.empty() || def.primary_key.empty()) return -1;
+    Row key = key_of(image);
+    for (auto it = table->index(0).SeekGe(key);
+         it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
+         it.Next()) {
+      if (table->heap().IsLive(it.rowid())) return it.rowid();
+    }
+    return -1;
+  };
+
+  auto local_txn = db.txn_manager().Begin();
+  Status status = Status::Ok();
+  for (const ReplChange& change : txn.changes) {
+    if (stats != nullptr) {
+      stats->local_cost += CostModel::kApplyRecordCost +
+                           def.indexes.size() * CostModel::kIndexMaintRowCost;
+    }
+    switch (change.op) {
+      case LogRecordType::kInsert: {
+        auto inserted = table->Insert(change.after, local_txn.get());
+        status = inserted.status();
+        break;
+      }
+      case LogRecordType::kDelete: {
+        RowId rid = find_row(change.before);
+        if (rid >= 0) status = table->Delete(rid, local_txn.get());
+        break;
+      }
+      case LogRecordType::kUpdate: {
+        RowId rid = find_row(change.before);
+        if (rid >= 0) {
+          status = table->Update(rid, change.after, local_txn.get());
+        } else {
+          auto inserted = table->Insert(change.after, local_txn.get());
+          status = inserted.status();
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (!status.ok()) break;
+    ++metrics_.changes_applied;
+  }
+  if (!status.ok()) {
+    db.txn_manager().Abort(local_txn.get());
+    return status;
+  }
+  double now = clock_ != nullptr ? clock_->Now() : 0.0;
+  db.txn_manager().Commit(local_txn.get(), now);
+  ++metrics_.txns_applied;
+  double latency = now - txn.commit_time;
+  if (latency >= 0) {
+    metrics_.latency_sum += latency;
+    metrics_.latency_max = std::max(metrics_.latency_max, latency);
+    ++metrics_.latency_count;
+  }
+  return Status::Ok();
+}
+
+Status ReplicationSystem::RunDistributionAgent(Server* subscriber,
+                                               ExecStats* subscriber_stats) {
+  for (auto& [id, sub] : subscriptions_) {
+    if (sub->subscriber != subscriber) continue;
+    while (!sub->queue.empty()) {
+      MT_RETURN_IF_ERROR(ApplyTxn(sub.get(), sub->queue.front(),
+                                  subscriber_stats));
+      sub->queue.pop_front();
+    }
+    // Queue drained: the replica is current as of the publisher's last
+    // fully-processed log position (freshness bookkeeping, §7 extension).
+    auto pub = publishers_.find(sub->publisher);
+    if (pub != publishers_.end()) {
+      TableDef* target =
+          subscriber->db().catalog().GetTable(sub->target_table);
+      if (target != nullptr) {
+        target->freshness_time =
+            std::max(target->freshness_time, pub->second.last_scan_time);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ReplicationSystem::RunOnce(ExecStats* publisher_stats,
+                                  ExecStats* subscriber_stats) {
+  for (auto& [server, state] : publishers_) {
+    MT_RETURN_IF_ERROR(RunLogReader(server, publisher_stats));
+  }
+  // Collect distinct subscribers.
+  std::vector<Server*> subscribers;
+  for (auto& [id, sub] : subscriptions_) {
+    bool seen = false;
+    for (Server* s : subscribers) {
+      if (s == sub->subscriber) seen = true;
+    }
+    if (!seen) subscribers.push_back(sub->subscriber);
+  }
+  for (Server* s : subscribers) {
+    MT_RETURN_IF_ERROR(RunDistributionAgent(s, subscriber_stats));
+  }
+  return Status::Ok();
+}
+
+int64_t ReplicationSystem::PendingChanges() const {
+  int64_t total = 0;
+  for (const auto& [id, sub] : subscriptions_) {
+    for (const PendingTxn& txn : sub->queue) {
+      total += static_cast<int64_t>(txn.changes.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace mtcache

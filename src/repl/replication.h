@@ -1,0 +1,146 @@
+#ifndef MTCACHE_REPL_REPLICATION_H_
+#define MTCACHE_REPL_REPLICATION_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/view_def.h"
+#include "common/sim_clock.h"
+#include "engine/server.h"
+
+namespace mtcache {
+
+/// A replication article: a select-project expression over a published table
+/// (§2.2: "an article may contain only a subset of the columns and rows of
+/// the underlying table or materialized view").
+struct Article {
+  std::string name;
+  SelectProjectDef def;
+};
+
+/// A publication groups articles on one publisher.
+struct Publication {
+  std::string name;
+  std::vector<Article> articles;
+};
+
+/// One filtered/projected change bound for a subscriber.
+struct ReplChange {
+  LogRecordType op = LogRecordType::kInsert;  // insert/delete/update
+  Row before;  // projected to article columns (delete/update)
+  Row after;   // projected to article columns (insert/update)
+};
+
+/// A committed source transaction's changes for one subscription. Changes
+/// propagate "one complete (committed) transaction at a time in commit
+/// order", so subscribers always see transactionally consistent states.
+struct PendingTxn {
+  TxnId source_txn = 0;
+  double commit_time = 0;
+  std::vector<ReplChange> changes;
+};
+
+struct ReplicationMetrics {
+  int64_t records_scanned = 0;     // log reader work
+  int64_t changes_enqueued = 0;    // distributor work
+  int64_t changes_applied = 0;     // subscriber work
+  int64_t txns_applied = 0;
+  double latency_sum = 0;          // commit-to-commit, seconds
+  double latency_max = 0;
+  int64_t latency_count = 0;
+
+  double AvgLatency() const {
+    return latency_count > 0 ? latency_sum / latency_count : 0.0;
+  }
+};
+
+/// The replication pipeline: publishers' log readers, the distribution
+/// database, and push distribution agents. All components are polled
+/// explicitly (by tests, examples, or the multi-server simulation), never by
+/// background threads, so every run is deterministic.
+class ReplicationSystem {
+ public:
+  explicit ReplicationSystem(SimClock* clock) : clock_(clock) {}
+
+  /// Registers a publisher. Log reading starts at the *current* end of its
+  /// log: pre-existing data must be carried over by a snapshot (the cached
+  /// view manager does this before subscribing).
+  void AddPublisher(Server* publisher);
+
+  /// Creates a publication implicitly (one article) and a push subscription
+  /// delivering the article's changes into `target_table` on `subscriber`.
+  /// Returns the subscription id.
+  StatusOr<int64_t> Subscribe(Server* publisher, const Article& article,
+                              Server* subscriber,
+                              const std::string& target_table);
+
+  Status Unsubscribe(int64_t subscription_id);
+
+  /// Log reader + distributor step for one publisher: scans new WAL records,
+  /// groups them per committed transaction, filters/projects them per
+  /// article, and enqueues them in the distribution database. Work is
+  /// charged to `publisher_stats` — this is the §6.2.2 backend overhead.
+  /// When `enabled=false` (the log reader is "turned off"), nothing happens.
+  Status RunLogReader(Server* publisher, ExecStats* publisher_stats);
+
+  /// Push distribution agent for one subscriber: applies every pending
+  /// transaction, in commit order, inside a subscriber-local transaction.
+  /// Apply work is charged to `subscriber_stats` (§6.2.2 mid-tier overhead);
+  /// commit-to-commit latency is recorded in the metrics (§6.2.3).
+  Status RunDistributionAgent(Server* subscriber, ExecStats* subscriber_stats);
+
+  /// Convenience: one full pipeline round for every publisher + subscriber.
+  Status RunOnce(ExecStats* publisher_stats, ExecStats* subscriber_stats);
+
+  /// Total changes sitting in the distribution database.
+  int64_t PendingChanges() const;
+
+  const ReplicationMetrics& metrics() const { return metrics_; }
+  void ResetMetrics() { metrics_ = ReplicationMetrics(); }
+
+  /// The §6.2.2 experiment switch: with the log reader off, no replication
+  /// work happens at all (and the distribution queue stops growing).
+  void set_log_reader_enabled(bool enabled) { log_reader_enabled_ = enabled; }
+  bool log_reader_enabled() const { return log_reader_enabled_; }
+
+ private:
+  struct Subscription {
+    int64_t id = 0;
+    Server* publisher = nullptr;
+    Article article;
+    Server* subscriber = nullptr;
+    std::string target_table;
+    /// Changes logged before this LSN predate the subscription's snapshot
+    /// and must not be delivered (they are already in the initial copy).
+    Lsn start_lsn = 0;
+    std::deque<PendingTxn> queue;  // the distribution database
+  };
+
+  struct PublisherState {
+    Server* server = nullptr;
+    Lsn next_lsn = 1;
+    // Open transactions being accumulated from the log.
+    std::map<TxnId, std::vector<LogRecord>> open_txns;
+    /// Time up to which the publisher's log has been fully processed. A
+    /// subscription whose queue is drained is current as of this time
+    /// (drives TableDef::freshness_time for the §7 freshness extension).
+    double last_scan_time = 0;
+  };
+
+  Status ApplyTxn(Subscription* sub, const PendingTxn& txn,
+                  ExecStats* stats);
+
+  SimClock* clock_;
+  bool log_reader_enabled_ = true;
+  std::map<Server*, PublisherState> publishers_;
+  std::map<int64_t, std::unique_ptr<Subscription>> subscriptions_;
+  int64_t next_subscription_id_ = 1;
+  ReplicationMetrics metrics_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_REPL_REPLICATION_H_

@@ -1,0 +1,123 @@
+#ifndef MTCACHE_SIM_DES_H_
+#define MTCACHE_SIM_DES_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace mtcache {
+namespace sim {
+
+/// Minimal deterministic discrete-event simulator. Events at equal times
+/// fire in scheduling order.
+class Des {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  void Schedule(double at, Callback fn) {
+    if (at < now_) at = now_;
+    heap_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs events until the clock passes `until` (events after it stay
+  /// queued) or the queue drains.
+  void RunUntil(double until) {
+    while (!heap_.empty() && heap_.top().time <= until) {
+      Event ev = std::move(const_cast<Event&>(heap_.top()));
+      heap_.pop();
+      now_ = ev.time;
+      ev.fn();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  double now_ = 0;
+  int64_t next_seq_ = 0;
+};
+
+/// A machine with `cpus` identical processors serving a FIFO queue of jobs.
+/// A job occupies one CPU for demand/unit_rate seconds (no intra-job
+/// parallelism, matching real query execution). Tracks busy time for CPU
+/// utilization reporting — the paper's Figure 6(b) metric.
+class Machine {
+ public:
+  Machine(Des* des, std::string name, int cpus, double unit_rate)
+      : des_(des), name_(std::move(name)), cpus_(cpus), unit_rate_(unit_rate) {}
+
+  const std::string& name() const { return name_; }
+
+  void Submit(double demand, Des::Callback done) {
+    queue_.push_back(Job{demand, std::move(done)});
+    TryStart();
+  }
+
+  /// CPU-seconds consumed so far (across all CPUs).
+  double busy_cpu_seconds() const { return busy_cpu_seconds_; }
+  int64_t jobs_completed() const { return jobs_completed_; }
+  int queue_length() const { return static_cast<int>(queue_.size()) + busy_; }
+
+  /// Resets the utilization accumulator (warmup handling).
+  void ResetCounters() {
+    busy_cpu_seconds_ = 0;
+    jobs_completed_ = 0;
+  }
+
+  /// Utilization over a window of `elapsed` seconds.
+  double Utilization(double elapsed) const {
+    if (elapsed <= 0) return 0;
+    return busy_cpu_seconds_ / (elapsed * cpus_);
+  }
+
+ private:
+  struct Job {
+    double demand;
+    Des::Callback done;
+  };
+
+  void TryStart() {
+    while (busy_ < cpus_ && !queue_.empty()) {
+      Job job = std::move(queue_.front());
+      queue_.pop_front();
+      ++busy_;
+      double service = job.demand / unit_rate_;
+      busy_cpu_seconds_ += service;
+      Des::Callback done = std::move(job.done);
+      des_->Schedule(des_->now() + service, [this, done = std::move(done)]() {
+        --busy_;
+        ++jobs_completed_;
+        if (done) done();
+        TryStart();
+      });
+    }
+  }
+
+  Des* des_;
+  std::string name_;
+  int cpus_;
+  double unit_rate_;
+  int busy_ = 0;
+  std::deque<Job> queue_;
+  double busy_cpu_seconds_ = 0;
+  int64_t jobs_completed_ = 0;
+};
+
+}  // namespace sim
+}  // namespace mtcache
+
+#endif  // MTCACHE_SIM_DES_H_

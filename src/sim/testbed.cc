@@ -1,0 +1,296 @@
+#include "sim/testbed.h"
+
+#include <algorithm>
+
+#include "tpcw/datagen.h"
+#include "tpcw/procs.h"
+
+namespace mtcache {
+namespace sim {
+
+using tpcw::Interaction;
+using tpcw::kNumInteractions;
+using tpcw::TpcwDriver;
+
+Status Testbed::BuildSystem() {
+  backend_ = std::make_unique<Server>(
+      ServerOptions{"backend", "dbo", {}}, &clock_, &links_);
+  MT_RETURN_IF_ERROR(tpcw::CreateSchema(backend_.get()));
+  MT_RETURN_IF_ERROR(tpcw::GenerateData(backend_.get(), config_.tpcw));
+  MT_RETURN_IF_ERROR(tpcw::CreateProcedures(backend_.get(), config_.tpcw));
+  clock_.AdvanceTo(tpcw::LoadEndTime(config_.tpcw));
+
+  if (config_.caching) {
+    repl_ = std::make_unique<ReplicationSystem>(&clock_);
+    for (int i = 0; i < config_.num_web_servers; ++i) {
+      caches_.push_back(std::make_unique<Server>(
+          ServerOptions{"cache" + std::to_string(i + 1), "dbo", {}}, &clock_,
+          &links_));
+      auto setup = MTCache::Setup(caches_.back().get(), backend_.get(),
+                                  repl_.get());
+      MT_RETURN_IF_ERROR(setup.status());
+      mtcaches_.push_back(setup.ConsumeValue());
+      MT_RETURN_IF_ERROR(
+          tpcw::SetupTpcwCache(mtcaches_.back().get(), config_.tpcw));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Testbed::ProfileInteractions() {
+  Server* connection =
+      (config_.caching && config_.drivers_use_cache) ? caches_[0].get()
+                                                     : backend_.get();
+  TpcwDriver driver(connection, config_.tpcw, config_.seed ^ 0xfeed);
+
+  for (int t = 0; t < kNumInteractions; ++t) {
+    Interaction kind = static_cast<Interaction>(t);
+    double pub_total = 0;
+    double apply_total = 0;
+    for (int s = 0; s < config_.profile_samples; ++s) {
+      MT_ASSIGN_OR_RETURN(ExecStats stats, driver.Run(kind));
+      profile_.samples[t].emplace_back(stats.local_cost, stats.remote_cost);
+      if (config_.caching && config_.replication_enabled && repl_ != nullptr) {
+        ExecStats pub;
+        MT_RETURN_IF_ERROR(repl_->RunLogReader(backend_.get(), &pub));
+        pub_total += pub.local_cost;
+        for (size_t c = 0; c < caches_.size(); ++c) {
+          ExecStats apply;
+          MT_RETURN_IF_ERROR(
+              repl_->RunDistributionAgent(caches_[c].get(), &apply));
+          if (c == 0) apply_total += apply.local_cost;
+        }
+      }
+    }
+    profile_.repl_publisher_cost[t] = pub_total / config_.profile_samples;
+    profile_.repl_apply_cost[t] = apply_total / config_.profile_samples;
+  }
+  return Status::Ok();
+}
+
+Status Testbed::Initialize() {
+  MT_RETURN_IF_ERROR(BuildSystem());
+  return ProfileInteractions();
+}
+
+StatusOr<TestbedResult> Testbed::Run(int users, double warmup,
+                                     double measure) {
+  Des des;
+  Random rng(config_.seed * 7919 + users);
+
+  // Machines.
+  Machine backend(&des, "backend", config_.backend_cpus, config_.unit_rate);
+  std::vector<std::unique_ptr<Machine>> web;
+  for (int i = 0; i < config_.num_web_servers; ++i) {
+    web.push_back(std::make_unique<Machine>(
+        &des, "web" + std::to_string(i + 1), config_.web_cpus,
+        config_.unit_rate));
+  }
+
+  // Measurement state.
+  double warmup_end = warmup;
+  double run_end = warmup + measure;
+  std::vector<double> latencies;
+  int64_t completed = 0;
+  bool counters_reset = false;
+
+  // Replication pipeline state: update work accumulated between polls.
+  struct ReplBatch {
+    double pub_cost = 0;
+    double apply_cost = 0;
+    double commit_time_sum = 0;
+    int commits = 0;
+  };
+  ReplBatch pending;
+  double repl_latency_sum = 0;
+  double repl_latency_max = 0;
+  int64_t repl_latency_count = 0;
+  bool repl_active = config_.caching && config_.replication_enabled &&
+                     !caches_.empty();
+
+  // Mix + per-interaction demand sampling.
+  auto sample = [&](Interaction kind) {
+    const auto& list = profile_.samples[static_cast<int>(kind)];
+    return list[rng.Uniform(0, static_cast<int64_t>(list.size()) - 1)];
+  };
+  TpcwDriver mix_picker(nullptr, config_.tpcw, config_.seed ^ 0xabcd);
+
+  // Closed-loop users. Each user cycles: think -> web server job ->
+  // (optional) backend job -> record latency -> think again.
+  struct UserFns {
+    std::function<void(int)> start_think;
+    std::function<void(int)> arrive;
+  };
+  auto fns = std::make_shared<UserFns>();
+  fns->start_think = [&, fns](int user) {
+    double think = config_.think_time * (0.95 + 0.1 * rng.NextDouble());
+    des.Schedule(des.now() + think, [fns, user]() { fns->arrive(user); });
+  };
+  fns->arrive = [&, fns](int user) {
+    if (des.now() >= run_end) return;  // wind down
+    Interaction kind = mix_picker.Pick(config_.mix);
+    auto [web_db, backend_db] = sample(kind);
+    int t = static_cast<int>(kind);
+    double web_demand = config_.app_work;
+    double backend_demand = 0;
+    if (config_.caching && config_.drivers_use_cache) {
+      web_demand += web_db;
+      backend_demand = backend_db;
+    } else {
+      backend_demand = web_db + backend_db;
+    }
+    double started = des.now();
+    Machine* my_web = web[user % web.size()].get();
+    auto finish = [&, fns, user, started, t]() {
+      if (des.now() >= warmup_end && des.now() < run_end) {
+        latencies.push_back(des.now() - started);
+        ++completed;
+      }
+      // Replication work caused by this interaction.
+      if (repl_active) {
+        pending.pub_cost += profile_.repl_publisher_cost[t];
+        pending.apply_cost += profile_.repl_apply_cost[t];
+        if (profile_.repl_publisher_cost[t] > 0) {
+          pending.commit_time_sum += des.now();
+          ++pending.commits;
+        }
+      }
+      fns->start_think(user);
+    };
+    my_web->Submit(web_demand, [&, fns, backend_demand, finish]() {
+      if (backend_demand > 0) {
+        backend.Submit(backend_demand, finish);
+      } else {
+        finish();
+      }
+    });
+  };
+
+  for (int u = 0; u < users; ++u) {
+    // Stagger initial arrivals across one think time.
+    double offset = config_.think_time * rng.NextDouble();
+    des.Schedule(offset, [fns, u]() { fns->arrive(u); });
+  }
+
+  // Replication agents: periodic log-reader poll on the backend; its
+  // completion fans apply jobs out to every cache server. Propagation
+  // latency = apply commit time - average source commit time of the batch.
+  std::function<void()> poll = [&]() {
+    if (des.now() >= run_end + 30) return;
+    if (repl_active && (pending.pub_cost > 0 || pending.commits > 0)) {
+      ReplBatch batch = pending;
+      pending = ReplBatch{};
+      backend.Submit(batch.pub_cost + 1, [&, batch]() {
+        for (size_t c = 0; c < caches_.size() && c < web.size(); ++c) {
+          bool record = c == 0;
+          // Cache servers are co-located with the web machines (§3).
+          Machine* cache_machine = web[c].get();
+          cache_machine->Submit(batch.apply_cost + 1, [&, batch, record]() {
+            if (!record || batch.commits == 0) return;
+            double latency =
+                des.now() - batch.commit_time_sum / batch.commits;
+            if (des.now() >= warmup_end && des.now() < run_end) {
+              repl_latency_sum += latency * batch.commits;
+              repl_latency_count += batch.commits;
+              repl_latency_max = std::max(repl_latency_max, latency);
+            }
+          });
+        }
+      });
+    }
+    des.Schedule(des.now() + config_.repl_poll_interval, poll);
+  };
+  if (repl_active) des.Schedule(config_.repl_poll_interval, poll);
+
+  // External background load on the backend (§6.2.3 heavy-load setup).
+  std::function<void()> background = [&]() {
+    if (des.now() >= run_end) return;
+    const double tick = 0.05;
+    backend.Submit(config_.backend_background_util * config_.backend_cpus *
+                       config_.unit_rate * tick,
+                   nullptr);
+    des.Schedule(des.now() + tick, background);
+  };
+  if (config_.backend_background_util > 0) des.Schedule(0.0, background);
+
+  // Warmup boundary: reset utilization counters.
+  des.Schedule(warmup_end, [&]() {
+    backend.ResetCounters();
+    for (auto& w : web) w->ResetCounters();
+    counters_reset = true;
+  });
+
+  des.RunUntil(run_end);
+
+  TestbedResult result;
+  result.users = users;
+  result.interactions = completed;
+  result.wips = completed / measure;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    size_t p90_index =
+        std::min(latencies.size() - 1,
+                 static_cast<size_t>(latencies.size() * 0.9));
+    result.p90_latency = latencies[p90_index];
+    double sum = 0;
+    for (double l : latencies) sum += l;
+    result.avg_latency = sum / latencies.size();
+  }
+  double window = counters_reset ? measure : run_end;
+  result.backend_util = std::min(backend.Utilization(window), 1.0);
+  double total_web = 0;
+  for (auto& w : web) {
+    double u = std::min(w->Utilization(window), 1.0);
+    result.max_web_util = std::max(result.max_web_util, u);
+    total_web += u;
+  }
+  result.avg_web_util = web.empty() ? 0 : total_web / web.size();
+  if (repl_latency_count > 0) {
+    result.repl_avg_latency = repl_latency_sum / repl_latency_count;
+    result.repl_max_latency = repl_latency_max;
+  }
+  // When drivers bypass the caches, cache machines only apply changes; in
+  // that mode web machines carry only app work + apply work, so their
+  // utilization IS the apply overhead.
+  if (config_.caching && !config_.drivers_use_cache) {
+    result.cache_apply_util = result.avg_web_util;
+  }
+  return result;
+}
+
+StatusOr<TestbedResult> Testbed::FindMaxThroughput(double warmup,
+                                                   double measure) {
+  auto acceptable = [&](const TestbedResult& r) {
+    double bottleneck = std::max(r.backend_util, r.max_web_util);
+    return r.p90_latency <= config_.latency_limit && bottleneck <= 0.92;
+  };
+
+  MT_ASSIGN_OR_RETURN(TestbedResult best, Run(1, warmup, measure));
+  if (!acceptable(best)) return best;
+
+  // Exponential growth until the latency bound (or 92% CPU) is exceeded.
+  int lo = 1;
+  int hi = 2;
+  while (hi <= 1 << 20) {
+    MT_ASSIGN_OR_RETURN(TestbedResult r, Run(hi, warmup, measure));
+    if (!acceptable(r)) break;
+    best = r;
+    lo = hi;
+    hi *= 2;
+  }
+  // Refine between lo and hi.
+  while (hi - lo > std::max(1, lo / 16)) {
+    int mid = lo + (hi - lo) / 2;
+    MT_ASSIGN_OR_RETURN(TestbedResult r, Run(mid, warmup, measure));
+    if (acceptable(r)) {
+      best = r;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace sim
+}  // namespace mtcache

@@ -1,0 +1,35 @@
+#ifndef MTCACHE_SQL_LEXER_H_
+#define MTCACHE_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mtcache {
+
+enum class TokenType {
+  kIdent,    // identifier or keyword (keywords matched case-insensitively)
+  kParam,    // @name
+  kInt,      // integer literal
+  kFloat,    // floating literal
+  kString,   // 'quoted'
+  kSymbol,   // punctuation/operator: ( ) , . ; = <> <= >= < > + - * / %
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifiers lower-cased; symbols verbatim
+  int64_t int_val = 0;
+  double float_val = 0;
+  size_t offset = 0;  // byte offset in the source (for proc body capture)
+};
+
+/// Tokenizes a SQL string. Comments (`-- ...` to end of line) are skipped.
+StatusOr<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_SQL_LEXER_H_

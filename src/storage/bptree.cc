@@ -1,0 +1,245 @@
+#include "storage/bptree.h"
+
+#include <cassert>
+
+namespace mtcache {
+
+struct BPlusTree::Node {
+  bool leaf = true;
+  // Internal: keys are separators; children.size() == keys.size() + 1 and
+  // keys[i] is the smallest (key,rid) entry under children[i+1].
+  // Leaf: keys[i]/rids[i] are the entries.
+  std::vector<Row> keys;
+  std::vector<RowId> rids;  // parallel to keys (leaf entries or separators)
+  std::vector<std::unique_ptr<Node>> children;
+  Node* next = nullptr;  // leaf chain
+};
+
+namespace {
+
+// Full-entry comparison: lexicographic over columns then rowid.
+int CompareEntry(const Row& a, RowId arid, const Row& b, RowId brid) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  if (arid != brid) return arid < brid ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+int BPlusTree::ComparePrefix(const Row& a, const Row& b) {
+  size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+namespace {
+
+// Finds the child index to descend into for an entry (key, rid).
+int ChildIndex(const BPlusTree::Node& node, const Row& key, RowId rid) {
+  int lo = 0;
+  int hi = static_cast<int>(node.keys.size());
+  // First separator strictly greater than the entry -> descend left of it.
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (CompareEntry(node.keys[mid], node.rids[mid], key, rid) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+struct SplitResult {
+  bool split = false;
+  Row sep_key;
+  RowId sep_rid = 0;
+  std::unique_ptr<BPlusTree::Node> right;
+};
+
+SplitResult InsertRec(BPlusTree::Node* node, const Row& key, RowId rid) {
+  if (node->leaf) {
+    // Position for insertion (keep sorted by (key, rid)).
+    int lo = 0;
+    int hi = static_cast<int>(node->keys.size());
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (CompareEntry(node->keys[mid], node->rids[mid], key, rid) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    node->keys.insert(node->keys.begin() + lo, key);
+    node->rids.insert(node->rids.begin() + lo, rid);
+  } else {
+    int ci = ChildIndex(*node, key, rid);
+    SplitResult child_split = InsertRec(node->children[ci].get(), key, rid);
+    if (child_split.split) {
+      node->keys.insert(node->keys.begin() + ci, std::move(child_split.sep_key));
+      node->rids.insert(node->rids.begin() + ci, child_split.sep_rid);
+      node->children.insert(node->children.begin() + ci + 1,
+                            std::move(child_split.right));
+    }
+  }
+
+  SplitResult result;
+  if (static_cast<int>(node->keys.size()) <= BPlusTree::kFanout) return result;
+
+  // Split the node in half.
+  int mid = static_cast<int>(node->keys.size()) / 2;
+  auto right = std::make_unique<BPlusTree::Node>();
+  right->leaf = node->leaf;
+  if (node->leaf) {
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->rids.assign(node->rids.begin() + mid, node->rids.end());
+    node->keys.resize(mid);
+    node->rids.resize(mid);
+    right->next = node->next;
+    node->next = right.get();
+    result.sep_key = right->keys.front();
+    result.sep_rid = right->rids.front();
+  } else {
+    // Separator at `mid` moves up.
+    result.sep_key = std::move(node->keys[mid]);
+    result.sep_rid = node->rids[mid];
+    right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                       std::make_move_iterator(node->keys.end()));
+    right->rids.assign(node->rids.begin() + mid + 1, node->rids.end());
+    for (size_t i = mid + 1; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->keys.resize(mid);
+    node->rids.resize(mid);
+    node->children.resize(mid + 1);
+  }
+  result.split = true;
+  result.right = std::move(right);
+  return result;
+}
+
+}  // namespace
+
+void BPlusTree::Insert(const Row& key, RowId rid) {
+  SplitResult split = InsertRec(root_.get(), key, rid);
+  if (split.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    new_root->keys.push_back(std::move(split.sep_key));
+    new_root->rids.push_back(split.sep_rid);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+bool BPlusTree::Erase(const Row& key, RowId rid) {
+  Node* node = root_.get();
+  while (!node->leaf) {
+    node = node->children[ChildIndex(*node, key, rid)].get();
+  }
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (CompareEntry(node->keys[i], node->rids[i], key, rid) == 0) {
+      node->keys.erase(node->keys.begin() + i);
+      node->rids.erase(node->rids.begin() + i);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+const Row& BPlusTree::Iterator::key() const { return node_->keys[pos_]; }
+RowId BPlusTree::Iterator::rowid() const { return node_->rids[pos_]; }
+
+void BPlusTree::Iterator::Next() {
+  ++pos_;
+  while (node_ != nullptr && pos_ >= static_cast<int>(node_->keys.size())) {
+    node_ = node_->next;
+    pos_ = 0;
+  }
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  Iterator it;
+  it.node_ = const_cast<Node*>(node);
+  it.pos_ = -1;
+  it.Next();
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::SeekGe(const Row& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    int lo = 0;
+    int hi = static_cast<int>(node->keys.size());
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (ComparePrefix(node->keys[mid], key) >= 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    node = node->children[lo].get();
+  }
+  Iterator it;
+  while (node != nullptr) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (ComparePrefix(node->keys[i], key) >= 0) {
+        it.node_ = const_cast<Node*>(node);
+        it.pos_ = static_cast<int>(i);
+        return it;
+      }
+    }
+    node = node->next;
+  }
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::SeekGt(const Row& key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    int lo = 0;
+    int hi = static_cast<int>(node->keys.size());
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      if (ComparePrefix(node->keys[mid], key) > 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    node = node->children[lo].get();
+  }
+  Iterator it;
+  while (node != nullptr) {
+    for (size_t i = 0; i < node->keys.size(); ++i) {
+      if (ComparePrefix(node->keys[i], key) > 0) {
+        it.node_ = const_cast<Node*>(node);
+        it.pos_ = static_cast<int>(i);
+        return it;
+      }
+    }
+    node = node->next;
+  }
+  return it;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,72 @@
+#ifndef MTCACHE_STORAGE_BPTREE_H_
+#define MTCACHE_STORAGE_BPTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "types/value.h"
+
+namespace mtcache {
+
+/// Row identifier: slot number in a table's heap.
+using RowId = int64_t;
+
+/// In-memory B+-tree over composite Value keys, mapping key -> RowId.
+/// Duplicate user keys are supported by treating (key, rowid) as the full
+/// unique key. Leaves are chained for range scans (index seeks produce
+/// ordered output). Deletion removes entries from leaves without rebalancing;
+/// for this system's insert-heavy workloads the resulting slack is
+/// irrelevant and keeps the structure simple.
+class BPlusTree {
+ public:
+  static constexpr int kFanout = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  void Insert(const Row& key, RowId rid);
+  /// Removes the (key, rid) entry; returns false if absent.
+  bool Erase(const Row& key, RowId rid);
+
+  int64_t size() const { return size_; }
+
+  struct Node;
+
+  /// Forward iterator over (key, rowid) entries in key order.
+  class Iterator {
+   public:
+    bool Valid() const { return node_ != nullptr; }
+    const Row& key() const;
+    RowId rowid() const;
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    Node* node_ = nullptr;
+    int pos_ = 0;
+  };
+
+  Iterator Begin() const;
+  /// First entry with user key >= `key` (prefix comparison over the leading
+  /// key.size() columns).
+  Iterator SeekGe(const Row& key) const;
+  /// First entry with user key > `key` (prefix comparison).
+  Iterator SeekGt(const Row& key) const;
+
+  /// Lexicographic comparison of the first min(|a|,|b|) columns; ties broken
+  /// short-is-smaller only when requested by full == true.
+  static int ComparePrefix(const Row& a, const Row& b);
+
+ private:
+  std::unique_ptr<Node> root_;
+  int64_t size_ = 0;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_STORAGE_BPTREE_H_

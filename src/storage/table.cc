@@ -1,0 +1,317 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace mtcache {
+
+RowId HeapTable::Insert(Row row) {
+  RowId rid;
+  if (!free_list_.empty()) {
+    rid = free_list_.back();
+    free_list_.pop_back();
+    rows_[rid] = std::move(row);
+    live_[rid] = true;
+  } else {
+    rid = static_cast<RowId>(rows_.size());
+    rows_.push_back(std::move(row));
+    live_.push_back(true);
+  }
+  ++live_count_;
+  return rid;
+}
+
+void HeapTable::RestoreAt(RowId rid, Row row) {
+  if (rid >= static_cast<RowId>(rows_.size())) {
+    rows_.resize(rid + 1);
+    live_.resize(rid + 1, false);
+  }
+  // The slot may sit on the free list; lazily skip it there (Insert checks
+  // liveness are not needed because free slots are only produced by Delete).
+  for (size_t i = 0; i < free_list_.size(); ++i) {
+    if (free_list_[i] == rid) {
+      free_list_[i] = free_list_.back();
+      free_list_.pop_back();
+      break;
+    }
+  }
+  rows_[rid] = std::move(row);
+  live_[rid] = true;
+  ++live_count_;
+}
+
+bool HeapTable::Delete(RowId rid) {
+  if (!IsLive(rid)) return false;
+  live_[rid] = false;
+  rows_[rid].clear();
+  free_list_.push_back(rid);
+  --live_count_;
+  return true;
+}
+
+bool HeapTable::Update(RowId rid, Row row) {
+  if (!IsLive(rid)) return false;
+  rows_[rid] = std::move(row);
+  return true;
+}
+
+StoredTable::StoredTable(TableDef* def, LogManager* log)
+    : def_(def), log_(log) {
+  indexes_.resize(def_->indexes.size());
+}
+
+Row StoredTable::IndexKey(int i, const Row& row) const {
+  const IndexDef& idx = def_->indexes[i];
+  Row key;
+  key.reserve(idx.key_columns.size());
+  for (int col : idx.key_columns) key.push_back(row[col]);
+  return key;
+}
+
+Status StoredTable::CheckUnique(const Row& row, RowId ignore_rid) const {
+  for (size_t i = 0; i < def_->indexes.size(); ++i) {
+    if (!def_->indexes[i].unique) continue;
+    Row key = IndexKey(static_cast<int>(i), row);
+    for (auto it = indexes_[i].SeekGe(key);
+         it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
+         it.Next()) {
+      if (it.rowid() != ignore_rid) {
+        return Status::AlreadyExists("unique constraint violation on index " +
+                                     def_->indexes[i].name + " of table " +
+                                     def_->name);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void StoredTable::IndexInsert(const Row& row, RowId rid) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    indexes_[i].Insert(IndexKey(static_cast<int>(i), row), rid);
+  }
+}
+
+void StoredTable::IndexErase(const Row& row, RowId rid) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    indexes_[i].Erase(IndexKey(static_cast<int>(i), row), rid);
+  }
+}
+
+StatusOr<RowId> StoredTable::Insert(const Row& row, Transaction* txn) {
+  if (static_cast<int>(row.size()) != def_->schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   def_->name);
+  }
+  MT_RETURN_IF_ERROR(CheckUnique(row, -1));
+  RowId rid = heap_.Insert(row);
+  IndexInsert(row, rid);
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.txn = txn->id();
+    rec.type = LogRecordType::kInsert;
+    rec.table = def_->name;
+    rec.after = row;
+    log_->Append(std::move(rec));
+  }
+  txn->AddUndo(UndoEntry{this, LogRecordType::kInsert, rid, {}});
+  return rid;
+}
+
+Status StoredTable::Delete(RowId rid, Transaction* txn) {
+  if (!heap_.IsLive(rid)) {
+    return Status::NotFound("rowid not live in table " + def_->name);
+  }
+  Row before = heap_.Get(rid);
+  IndexErase(before, rid);
+  heap_.Delete(rid);
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.txn = txn->id();
+    rec.type = LogRecordType::kDelete;
+    rec.table = def_->name;
+    rec.before = before;
+    log_->Append(std::move(rec));
+  }
+  txn->AddUndo(UndoEntry{this, LogRecordType::kDelete, rid, std::move(before)});
+  return Status::Ok();
+}
+
+Status StoredTable::Update(RowId rid, const Row& new_row, Transaction* txn) {
+  if (!heap_.IsLive(rid)) {
+    return Status::NotFound("rowid not live in table " + def_->name);
+  }
+  if (static_cast<int>(new_row.size()) != def_->schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   def_->name);
+  }
+  MT_RETURN_IF_ERROR(CheckUnique(new_row, rid));
+  Row before = heap_.Get(rid);
+  IndexErase(before, rid);
+  heap_.Update(rid, new_row);
+  IndexInsert(new_row, rid);
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.txn = txn->id();
+    rec.type = LogRecordType::kUpdate;
+    rec.table = def_->name;
+    rec.before = before;
+    rec.after = new_row;
+    log_->Append(std::move(rec));
+  }
+  txn->AddUndo(UndoEntry{this, LogRecordType::kUpdate, rid, std::move(before)});
+  return Status::Ok();
+}
+
+void StoredTable::PhysicalDelete(RowId rid) {
+  if (!heap_.IsLive(rid)) return;
+  IndexErase(heap_.Get(rid), rid);
+  heap_.Delete(rid);
+}
+
+void StoredTable::PhysicalRestore(RowId rid, const Row& row) {
+  heap_.RestoreAt(rid, row);
+  IndexInsert(row, rid);
+}
+
+void StoredTable::PhysicalUpdate(RowId rid, const Row& row) {
+  if (!heap_.IsLive(rid)) return;
+  IndexErase(heap_.Get(rid), rid);
+  heap_.Update(rid, row);
+  IndexInsert(row, rid);
+}
+
+void StoredTable::AddIndex() {
+  indexes_.emplace_back();
+  BuildIndex(static_cast<int>(indexes_.size()) - 1);
+}
+
+void StoredTable::BuildIndex(int i) {
+  indexes_[i] = BPlusTree();
+  for (RowId rid = 0; rid < heap_.slot_count(); ++rid) {
+    if (!heap_.IsLive(rid)) continue;
+    indexes_[i].Insert(IndexKey(i, heap_.Get(rid)), rid);
+  }
+}
+
+void StoredTable::RecomputeStats() {
+  def_->stats = ComputeTableStats(def_->schema, heap_);
+}
+
+void Transaction::Rollback() {
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    switch (it->op) {
+      case LogRecordType::kInsert:
+        it->table->PhysicalDelete(it->rid);
+        break;
+      case LogRecordType::kDelete:
+        it->table->PhysicalRestore(it->rid, it->before);
+        break;
+      case LogRecordType::kUpdate:
+        it->table->PhysicalUpdate(it->rid, it->before);
+        break;
+      default:
+        break;
+    }
+  }
+  undo_.clear();
+  active_ = false;
+}
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  auto txn = std::make_unique<Transaction>(next_txn_++);
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.txn = txn->id();
+    rec.type = LogRecordType::kBegin;
+    log_->Append(std::move(rec));
+  }
+  return txn;
+}
+
+void TransactionManager::Commit(Transaction* txn, double commit_time) {
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.txn = txn->id();
+    rec.type = LogRecordType::kCommit;
+    rec.commit_time = commit_time;
+    log_->Append(std::move(rec));
+  }
+  txn->MarkCommitted();
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  txn->Rollback();
+  if (log_ != nullptr) {
+    LogRecord rec;
+    rec.txn = txn->id();
+    rec.type = LogRecordType::kAbort;
+    log_->Append(std::move(rec));
+  }
+}
+
+TableStats ComputeTableStats(const Schema& schema, const HeapTable& heap) {
+  constexpr int kHistogramBuckets = 32;
+  constexpr size_t kHistogramSampleCap = 50000;
+
+  TableStats stats;
+  stats.row_count = static_cast<double>(heap.live_count());
+  stats.columns.resize(schema.num_columns());
+  std::vector<std::unordered_set<size_t>> distinct(schema.num_columns());
+  std::vector<std::vector<double>> samples(schema.num_columns());
+  std::vector<int64_t> nulls(schema.num_columns(), 0);
+  std::vector<bool> seen(schema.num_columns(), false);
+  // Sample stride keeps the per-column value sample bounded.
+  RowId stride = 1;
+  if (heap.live_count() > static_cast<int64_t>(kHistogramSampleCap)) {
+    stride = heap.live_count() / kHistogramSampleCap + 1;
+  }
+  double total_bytes = 0;
+  int64_t live_seen = 0;
+  for (RowId rid = 0; rid < heap.slot_count(); ++rid) {
+    if (!heap.IsLive(rid)) continue;
+    ++live_seen;
+    const Row& row = heap.Get(rid);
+    total_bytes += RowSizeBytes(row);
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      const Value& v = row[c];
+      if (v.is_null()) {
+        ++nulls[c];
+        continue;
+      }
+      double x = v.AsStatDouble();
+      ColumnStats& cs = stats.columns[c];
+      if (!seen[c]) {
+        cs.min = cs.max = x;
+        seen[c] = true;
+      } else {
+        if (x < cs.min) cs.min = x;
+        if (x > cs.max) cs.max = x;
+      }
+      if (distinct[c].size() < 100000) distinct[c].insert(v.Hash());
+      if (live_seen % stride == 0) samples[c].push_back(x);
+    }
+  }
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats& cs = stats.columns[c];
+    cs.ndv = distinct[c].empty() ? 1 : static_cast<double>(distinct[c].size());
+    cs.null_frac =
+        stats.row_count > 0 ? nulls[c] / stats.row_count : 0.0;
+    // Equi-depth histogram from the sampled values.
+    std::vector<double>& vals = samples[c];
+    if (vals.size() >= 2 * kHistogramBuckets) {
+      std::sort(vals.begin(), vals.end());
+      cs.hist_bounds.clear();
+      for (int b = 1; b <= kHistogramBuckets; ++b) {
+        size_t idx = vals.size() * b / kHistogramBuckets;
+        if (idx > 0) --idx;
+        cs.hist_bounds.push_back(vals[idx]);
+      }
+    }
+  }
+  stats.avg_row_bytes =
+      stats.row_count > 0 ? total_bytes / stats.row_count : 64;
+  return stats;
+}
+
+}  // namespace mtcache

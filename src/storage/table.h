@@ -1,0 +1,152 @@
+#ifndef MTCACHE_STORAGE_TABLE_H_
+#define MTCACHE_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/bptree.h"
+#include "storage/wal.h"
+#include "types/value.h"
+
+namespace mtcache {
+
+class Transaction;
+
+/// Slotted in-memory row store. RowIds are slot numbers; deleted slots go to
+/// a free list and may be reused (a reuse bumps nothing — replication
+/// identifies rows by key, not RowId, so reuse is safe).
+class HeapTable {
+ public:
+  RowId Insert(Row row);
+  /// Re-inserts a row at a specific slot (transaction rollback of a delete).
+  void RestoreAt(RowId rid, Row row);
+  bool Delete(RowId rid);
+  bool Update(RowId rid, Row row);
+
+  bool IsLive(RowId rid) const {
+    return rid >= 0 && rid < static_cast<RowId>(rows_.size()) && live_[rid];
+  }
+  const Row& Get(RowId rid) const { return rows_[rid]; }
+  int64_t live_count() const { return live_count_; }
+  RowId slot_count() const { return static_cast<RowId>(rows_.size()); }
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<bool> live_;
+  std::vector<RowId> free_list_;
+  int64_t live_count_ = 0;
+};
+
+/// A stored relation: heap plus the B+-trees for each index in the TableDef.
+/// All mutations go through the logged, transactional entry points, which
+/// enforce unique constraints, maintain every index, write WAL records, and
+/// register undo actions with the transaction.
+class StoredTable {
+ public:
+  /// `def` and `log` must outlive the table. `log` may be null for catalogs
+  /// that do not replicate (e.g. scratch databases in tests).
+  StoredTable(TableDef* def, LogManager* log);
+
+  const TableDef& def() const { return *def_; }
+  TableDef* mutable_def() { return def_; }
+  HeapTable& heap() { return heap_; }
+  const HeapTable& heap() const { return heap_; }
+
+  /// Number of live rows.
+  int64_t row_count() const { return heap_.live_count(); }
+
+  // --- Logged, transactional mutations -------------------------------------
+
+  StatusOr<RowId> Insert(const Row& row, Transaction* txn);
+  Status Delete(RowId rid, Transaction* txn);
+  Status Update(RowId rid, const Row& new_row, Transaction* txn);
+
+  // --- Physical (unlogged) mutations, used only by transaction rollback ----
+
+  void PhysicalDelete(RowId rid);
+  void PhysicalRestore(RowId rid, const Row& row);
+  void PhysicalUpdate(RowId rid, const Row& row);
+
+  // --- Index access ---------------------------------------------------------
+
+  /// The B+-tree for index ordinal `i` (position in def().indexes).
+  const BPlusTree& index(int i) const { return indexes_[i]; }
+  /// (Re)builds index ordinal `i` from the heap (CREATE INDEX on a table
+  /// that already has rows).
+  void BuildIndex(int i);
+  /// Appends a new index tree; call after pushing the IndexDef into def().
+  void AddIndex();
+  /// Drops index ordinal `i`'s tree; call after erasing the IndexDef.
+  void RemoveIndex(int i) { indexes_.erase(indexes_.begin() + i); }
+
+  /// Extracts the key columns of `row` for index `i`.
+  Row IndexKey(int i, const Row& row) const;
+
+  /// Recomputes the TableDef's statistics from the stored rows.
+  void RecomputeStats();
+
+ private:
+  Status CheckUnique(const Row& row, RowId ignore_rid) const;
+  void IndexInsert(const Row& row, RowId rid);
+  void IndexErase(const Row& row, RowId rid);
+
+  TableDef* def_;
+  LogManager* log_;
+  HeapTable heap_;
+  std::vector<BPlusTree> indexes_;
+};
+
+/// Undo entry captured by StoredTable mutations.
+struct UndoEntry {
+  StoredTable* table = nullptr;
+  LogRecordType op = LogRecordType::kInsert;
+  RowId rid = 0;
+  Row before;  // for delete/update undo
+};
+
+/// A transaction: id, state, and the undo chain. Commit/abort are driven by
+/// the TransactionManager; statement execution appends undo entries here.
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+
+  TxnId id() const { return id_; }
+  bool active() const { return active_; }
+
+  void AddUndo(UndoEntry entry) { undo_.push_back(std::move(entry)); }
+
+  /// Applies undo entries in reverse and deactivates. Called by Abort.
+  void Rollback();
+  void MarkCommitted() { active_ = false; }
+
+ private:
+  TxnId id_;
+  bool active_ = true;
+  std::vector<UndoEntry> undo_;
+};
+
+/// Hands out transactions and writes Begin/Commit/Abort to the WAL. The
+/// commit timestamp comes from the owner (simulated clock) so replication
+/// latency can be measured.
+class TransactionManager {
+ public:
+  explicit TransactionManager(LogManager* log) : log_(log) {}
+
+  std::unique_ptr<Transaction> Begin();
+  void Commit(Transaction* txn, double commit_time);
+  void Abort(Transaction* txn);
+
+ private:
+  LogManager* log_;
+  TxnId next_txn_ = 1;
+};
+
+/// Recomputes TableStats by scanning the heap.
+TableStats ComputeTableStats(const Schema& schema, const HeapTable& heap);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_STORAGE_TABLE_H_

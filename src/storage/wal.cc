@@ -1,0 +1,20 @@
+#include "storage/wal.h"
+
+namespace mtcache {
+
+Lsn LogManager::ReadFrom(Lsn from, std::vector<LogRecord>* out) const {
+  if (from < first_lsn_) from = first_lsn_;
+  for (const LogRecord& rec : records_) {
+    if (rec.lsn >= from) out->push_back(rec);
+  }
+  return next_lsn_;
+}
+
+void LogManager::TruncateBefore(Lsn up_to) {
+  while (!records_.empty() && records_.front().lsn < up_to) {
+    records_.pop_front();
+  }
+  if (up_to > first_lsn_) first_lsn_ = up_to;
+}
+
+}  // namespace mtcache

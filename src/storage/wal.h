@@ -1,0 +1,68 @@
+#ifndef MTCACHE_STORAGE_WAL_H_
+#define MTCACHE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace mtcache {
+
+using Lsn = int64_t;
+using TxnId = int64_t;
+
+enum class LogRecordType { kBegin, kCommit, kAbort, kInsert, kDelete, kUpdate };
+
+/// One write-ahead-log record. Data records carry full before/after row
+/// images, which is exactly what SQL Server's transactional replication log
+/// reader extracts (§2.2: "changes to a published table or view are
+/// collected by log sniffing").
+struct LogRecord {
+  Lsn lsn = 0;
+  TxnId txn = 0;
+  LogRecordType type = LogRecordType::kBegin;
+  std::string table;   // lower-cased; empty for Begin/Commit/Abort
+  Row before;          // Delete/Update
+  Row after;           // Insert/Update
+  double commit_time = 0;  // Commit records: simulated commit timestamp
+};
+
+/// The database log. Append-only; readers (the replication log reader) poll
+/// from a saved position. Records already propagated to all subscribers can
+/// be truncated.
+class LogManager {
+ public:
+  LogManager() = default;
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  Lsn Append(LogRecord record) {
+    record.lsn = next_lsn_++;
+    Lsn lsn = record.lsn;
+    records_.push_back(std::move(record));
+    return lsn;
+  }
+
+  Lsn next_lsn() const { return next_lsn_; }
+  Lsn first_lsn() const { return first_lsn_; }
+  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+
+  /// Copies records with lsn in [from, next_lsn()) into `out`; returns the
+  /// new read position.
+  Lsn ReadFrom(Lsn from, std::vector<LogRecord>* out) const;
+
+  /// Drops records with lsn < up_to (done after distribution, §2.2: "once
+  /// changes have been propagated to all subscribers, they are deleted").
+  void TruncateBefore(Lsn up_to);
+
+ private:
+  std::deque<LogRecord> records_;
+  Lsn next_lsn_ = 1;
+  Lsn first_lsn_ = 1;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_STORAGE_WAL_H_

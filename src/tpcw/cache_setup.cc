@@ -1,0 +1,41 @@
+#include "tpcw/cache_setup.h"
+
+#include "common/string_util.h"
+#include "tpcw/procs.h"
+
+namespace mtcache {
+namespace tpcw {
+
+Status SetupTpcwCache(MTCache* mtcache, const TpcwConfig& config) {
+  (void)config;
+  static const char* const kCachedTables[] = {"item", "author", "orders",
+                                              "order_line"};
+  for (const char* table : kCachedTables) {
+    std::string view = std::string(table) + "_cache";
+    MT_RETURN_IF_ERROR(mtcache->CreateCachedView(
+        view, "SELECT * FROM " + std::string(table)));
+    // Mirror the backend's secondary indexes (the pk index is created with
+    // the view). Full-column projections keep column names identical.
+    const TableDef* base =
+        mtcache->backend()->db().catalog().GetTable(table);
+    for (const IndexDef& index : base->indexes) {
+      if (index.name == std::string(table) + "_pk") continue;
+      std::vector<std::string> cols;
+      for (int ord : index.key_columns) {
+        cols.push_back(base->schema.column(ord).name);
+      }
+      std::string ddl = std::string(index.unique ? "CREATE UNIQUE INDEX "
+                                                 : "CREATE INDEX ") +
+                        index.name + "_c ON " + view + " (" +
+                        Join(cols, ", ") + ")";
+      MT_RETURN_IF_ERROR(mtcache->cache()->ExecuteScript(ddl));
+    }
+  }
+  for (const std::string& proc : ProceduresToCopy()) {
+    MT_RETURN_IF_ERROR(mtcache->CopyProcedure(proc));
+  }
+  return Status::Ok();
+}
+
+}  // namespace tpcw
+}  // namespace mtcache

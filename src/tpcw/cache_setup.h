@@ -1,0 +1,21 @@
+#ifndef MTCACHE_TPCW_CACHE_SETUP_H_
+#define MTCACHE_TPCW_CACHE_SETUP_H_
+
+#include "common/status.h"
+#include "mtcache/mtcache.h"
+#include "tpcw/schema.h"
+
+namespace mtcache {
+namespace tpcw {
+
+/// Implements the paper's caching strategy (§6.1.2): cached views projecting
+/// the item, author, orders, and order_line tables; indexes on the cache
+/// identical to the backend ("it would have been unfair to make the backend
+/// seem unnecessarily slow as a result of less aggressive indexing"); and
+/// the read-dominated procedures copied over.
+Status SetupTpcwCache(MTCache* mtcache, const TpcwConfig& config);
+
+}  // namespace tpcw
+}  // namespace mtcache
+
+#endif  // MTCACHE_TPCW_CACHE_SETUP_H_

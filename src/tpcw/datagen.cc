@@ -1,0 +1,120 @@
+#include "tpcw/datagen.h"
+
+#include "common/random.h"
+
+namespace mtcache {
+namespace tpcw {
+
+namespace {
+
+constexpr int64_t kEpochBase = kTpcwEpochBase;
+
+Value Str(std::string s) { return Value::String(std::move(s)); }
+Value I(int64_t v) { return Value::Int(v); }
+Value D(double v) { return Value::Double(v); }
+
+}  // namespace
+
+const std::vector<std::string>& TitleWords() {
+  static const std::vector<std::string>* kWords = new std::vector<std::string>{
+      "shadow", "river",  "winter", "garden", "secret", "night",  "stone",
+      "empire", "silent", "golden", "broken", "hidden", "storm",  "crystal",
+      "forest", "dragon", "summer", "letter", "bridge", "island", "mirror",
+      "voyage", "thunder", "canyon", "harbor", "meadow", "ember",  "willow",
+      "falcon", "orchid", "quartz", "zephyr"};
+  return *kWords;
+}
+
+Status GenerateData(Server* backend, const TpcwConfig& config) {
+  Random rng(config.seed);
+  Database& db = backend->db();
+  const std::vector<std::string>& words = TitleWords();
+  auto word = [&]() { return words[rng.Uniform(0, words.size() - 1)]; };
+
+  auto txn = db.txn_manager().Begin();
+  auto insert = [&](const char* table, Row row) -> Status {
+    StoredTable* stored = db.GetStoredTable(table);
+    if (stored == nullptr) {
+      return Status::NotFound(std::string("table not found: ") + table);
+    }
+    return stored->Insert(std::move(row), txn.get()).status();
+  };
+
+  // country
+  static const char* kCountries[] = {"united states", "united kingdom",
+                                     "canada", "germany", "france", "japan"};
+  for (int i = 0; i < 6; ++i) {
+    MT_RETURN_IF_ERROR(insert("country", {I(i + 1), Str(kCountries[i])}));
+  }
+
+  // author
+  for (int a = 1; a <= config.num_authors; ++a) {
+    MT_RETURN_IF_ERROR(insert(
+        "author", {I(a), Str(word()), Str(word() + std::to_string(a % 97)),
+                   Str("bio of author " + std::to_string(a))}));
+  }
+
+  // item: titles are three dictionary words, subjects uniform, pub dates
+  // spread over ~3 years, related item links form a ring.
+  for (int i = 1; i <= config.num_items; ++i) {
+    std::string title = word() + " " + word() + " " + word();
+    double srp = 1.0 + (rng.NextU64() % 9900) / 100.0;
+    MT_RETURN_IF_ERROR(insert(
+        "item",
+        {I(i), Str(title), I(rng.Uniform(1, config.num_authors)),
+         I(kEpochBase - rng.Uniform(0, 3 * 365) * 86400),
+         Str(kSubjects[rng.Uniform(0, kNumSubjects - 1)]),
+         Str("description of " + title), D(srp), D(srp * 0.85),
+         I(rng.Uniform(10, 500)), I(i % config.num_items + 1)}));
+  }
+
+  // address + customer
+  for (int c = 1; c <= config.num_customers; ++c) {
+    MT_RETURN_IF_ERROR(insert(
+        "address", {I(c), Str(std::to_string(c) + " " + word() + " st"),
+                    Str(word() + " city"), Str(std::to_string(10000 + c % 89999)),
+                    I(rng.Uniform(1, 6))}));
+    MT_RETURN_IF_ERROR(insert(
+        "customer",
+        {I(c), Str("user" + std::to_string(c)), Str("pw" + std::to_string(c)),
+         Str(word()), Str(word()), I(c),
+         Str("user" + std::to_string(c) + "@example.com"),
+         I(kEpochBase - rng.Uniform(0, 2 * 365) * 86400),
+         I(kEpochBase - rng.Uniform(0, 30) * 86400),
+         D(rng.Uniform(0, 50) / 100.0)}));
+  }
+
+  // orders + order_line + cc_xacts: order dates increase with o_id so
+  // "the last N orders" is a contiguous recent range.
+  for (int o = 1; o <= config.num_orders; ++o) {
+    double sub_total = 0;
+    int lines = 1 + static_cast<int>(rng.Uniform(0, 2 * config.avg_lines_per_order - 2));
+    // Distinct items per order via stride.
+    int first_item = static_cast<int>(rng.Uniform(1, config.num_items));
+    for (int l = 0; l < lines; ++l) {
+      int item_id = (first_item + l * 37) % config.num_items + 1;
+      int qty = static_cast<int>(rng.Uniform(1, 5));
+      sub_total += qty * 25.0;
+      MT_RETURN_IF_ERROR(insert(
+          "order_line",
+          {I(o), I(item_id), I(qty), D(rng.Uniform(0, 10) / 100.0)}));
+    }
+    int64_t date = kEpochBase + o * 60;  // one order a minute
+    MT_RETURN_IF_ERROR(insert(
+        "orders", {I(o), I(rng.Uniform(1, config.num_customers)), I(date),
+                   D(sub_total), D(sub_total * 1.0825),
+                   Str(o % 10 == 0 ? "pending" : "shipped"),
+                   I(rng.Uniform(1, config.num_customers))}));
+    MT_RETURN_IF_ERROR(insert(
+        "cc_xacts", {I(o), Str("visa"), D(sub_total * 1.0825), I(date)}));
+  }
+
+  db.txn_manager().Commit(txn.get(), db.Now());
+  // The bulk load predates any subscription: drop it from the log.
+  db.log().TruncateBefore(db.log().next_lsn());
+  backend->RecomputeStats();
+  return Status::Ok();
+}
+
+}  // namespace tpcw
+}  // namespace mtcache

@@ -1,0 +1,24 @@
+#ifndef MTCACHE_TPCW_DATAGEN_H_
+#define MTCACHE_TPCW_DATAGEN_H_
+
+#include "common/status.h"
+#include "engine/server.h"
+#include "tpcw/schema.h"
+
+namespace mtcache {
+namespace tpcw {
+
+/// Populates the TPC-W tables on `backend` (bulk loader: writes go straight
+/// to storage in one transaction, then the load's WAL tail is truncated so
+/// replication subscriptions created afterwards start clean) and recomputes
+/// statistics. Deterministic for a given config.seed.
+Status GenerateData(Server* backend, const TpcwConfig& config);
+
+/// Dictionary used for titles and names; title/author searches draw their
+/// patterns from it so LIKE queries hit realistic fractions of the data.
+const std::vector<std::string>& TitleWords();
+
+}  // namespace tpcw
+}  // namespace mtcache
+
+#endif  // MTCACHE_TPCW_DATAGEN_H_

@@ -1,0 +1,28 @@
+#ifndef MTCACHE_TPCW_PROCS_H_
+#define MTCACHE_TPCW_PROCS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "engine/server.h"
+#include "tpcw/schema.h"
+
+namespace mtcache {
+namespace tpcw {
+
+/// Creates the benchmark's stored procedures on the backend (§6.1.1: "all
+/// database requests are implemented as SQL Server stored procedures").
+/// The best-seller window (paper: last 3333 orders) is baked in from config.
+Status CreateProcedures(Server* backend, const TpcwConfig& config);
+
+/// The procedures the DBA copies to each cache server (§6.1.2: 24 of 29
+/// copied; the rest are update-dominated and stay on the backend).
+const std::vector<std::string>& ProceduresToCopy();
+
+/// The update-dominated procedures that stay on the backend only.
+const std::vector<std::string>& BackendOnlyProcedures();
+
+}  // namespace tpcw
+}  // namespace mtcache
+
+#endif  // MTCACHE_TPCW_PROCS_H_

@@ -1,0 +1,44 @@
+#ifndef MTCACHE_TPCW_SCHEMA_H_
+#define MTCACHE_TPCW_SCHEMA_H_
+
+#include "common/status.h"
+#include "engine/server.h"
+
+namespace mtcache {
+namespace tpcw {
+
+/// Scale factors. The paper ran 10,000 items / 10,000 EBs (≈28.8M customers);
+/// these defaults are laptop-scale but keep the spec's ratios, and the
+/// benches raise them. `best_seller_window` scales the paper's "last 3333
+/// orders" proportionally.
+struct TpcwConfig {
+  int num_items = 1000;
+  int num_authors = 250;        // spec: items / 4
+  int num_customers = 2880;     // spec: 2880 * EBs / 10
+  int num_orders = 2590;        // spec ratio: 0.9 * customers
+  int avg_lines_per_order = 3;
+  int best_seller_window = 333;
+  uint64_t seed = 20030609;     // SIGMOD 2003 :-)
+};
+
+/// Base timestamp of the generated history. Run clocks should start at
+/// LoadEndTime() so GETDATE() produces timestamps *after* the loaded orders
+/// (keeps "the last N orders" semantics right for new orders).
+constexpr int64_t kTpcwEpochBase = 1000000000;
+
+inline double LoadEndTime(const TpcwConfig& config) {
+  return static_cast<double>(kTpcwEpochBase + (config.num_orders + 1) * 60);
+}
+
+/// Creates the TPC-W tables (the eight spec tables plus the two shopping-cart
+/// tables) and the backend's indexes.
+Status CreateSchema(Server* server);
+
+/// The subjects catalog (item.i_subject domain).
+extern const char* const kSubjects[];
+extern const int kNumSubjects;
+
+}  // namespace tpcw
+}  // namespace mtcache
+
+#endif  // MTCACHE_TPCW_SCHEMA_H_

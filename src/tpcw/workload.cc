@@ -1,0 +1,268 @@
+#include "tpcw/workload.h"
+
+#include "tpcw/datagen.h"
+
+namespace mtcache {
+namespace tpcw {
+
+const char* InteractionName(Interaction kind) {
+  switch (kind) {
+    case Interaction::kHome: return "Home";
+    case Interaction::kNewProducts: return "NewProducts";
+    case Interaction::kBestSellers: return "BestSellers";
+    case Interaction::kProductDetail: return "ProductDetail";
+    case Interaction::kSearchRequest: return "SearchRequest";
+    case Interaction::kSearchResults: return "SearchResults";
+    case Interaction::kShoppingCart: return "ShoppingCart";
+    case Interaction::kCustomerRegistration: return "CustomerRegistration";
+    case Interaction::kBuyRequest: return "BuyRequest";
+    case Interaction::kBuyConfirm: return "BuyConfirm";
+    case Interaction::kOrderInquiry: return "OrderInquiry";
+    case Interaction::kOrderDisplay: return "OrderDisplay";
+    case Interaction::kAdminRequest: return "AdminRequest";
+    case Interaction::kAdminConfirm: return "AdminConfirm";
+  }
+  return "?";
+}
+
+bool IsBrowseClass(Interaction kind) {
+  switch (kind) {
+    case Interaction::kHome:
+    case Interaction::kNewProducts:
+    case Interaction::kBestSellers:
+    case Interaction::kProductDetail:
+    case Interaction::kSearchRequest:
+    case Interaction::kSearchResults:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* MixName(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kBrowsing: return "Browsing";
+    case WorkloadMix::kShopping: return "Shopping";
+    case WorkloadMix::kOrdering: return "Ordering";
+  }
+  return "?";
+}
+
+double BrowseFraction(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kBrowsing: return 0.95;
+    case WorkloadMix::kShopping: return 0.80;
+    case WorkloadMix::kOrdering: return 0.50;
+  }
+  return 0.8;
+}
+
+namespace {
+
+// The TPC-W interaction frequency tables (percent) for the three workloads
+// (WIPSb / WIPS / WIPSo). Note how differently the classes are composed:
+// Best Sellers is 11% of the Browsing mix but only 0.46% of Ordering. The
+// Browse-class totals are the paper's 95% / 80% / 50%.
+// Order: Home, NewProducts, BestSellers, ProductDetail, SearchRequest,
+// SearchResults, ShoppingCart, CustomerRegistration, BuyRequest, BuyConfirm,
+// OrderInquiry, OrderDisplay, AdminRequest, AdminConfirm.
+const double kMixTable[3][kNumInteractions] = {
+    // Browsing (WIPSb)
+    {29.00, 11.00, 11.00, 21.00, 12.00, 11.00, 2.00, 0.82, 0.75, 0.69, 0.30,
+     0.25, 0.10, 0.09},
+    // Shopping (WIPS)
+    {16.00, 5.00, 5.00, 17.00, 20.00, 17.00, 11.60, 3.00, 2.60, 1.20, 0.75,
+     0.66, 0.10, 0.09},
+    // Ordering (WIPSo)
+    {9.12, 0.46, 0.46, 12.35, 14.53, 13.08, 13.53, 12.86, 12.73, 10.18, 0.25,
+     0.22, 0.12, 0.09},
+};
+
+int MixIndex(WorkloadMix mix) {
+  switch (mix) {
+    case WorkloadMix::kBrowsing: return 0;
+    case WorkloadMix::kShopping: return 1;
+    case WorkloadMix::kOrdering: return 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+TpcwDriver::TpcwDriver(Server* connection, const TpcwConfig& config,
+                       uint64_t seed, int driver_index, int driver_stride)
+    : server_(connection), config_(config), rng_(seed ^ 0x5bd1e995u),
+      id_stride_(driver_stride) {
+  // Client-generated id spaces, disjoint per driver and clear of loaded data.
+  next_cart_id_ = 1000000 + driver_index;
+  next_order_id_ = config.num_orders + 1000 + driver_index;
+  next_customer_id_ = config.num_customers + 1000 + driver_index;
+}
+
+std::string TpcwDriver::RandomSubject() {
+  return kSubjects[rng_.Uniform(0, kNumSubjects - 1)];
+}
+
+Interaction TpcwDriver::Pick(WorkloadMix mix) {
+  const double* table = kMixTable[MixIndex(mix)];
+  double total = 0;
+  for (int i = 0; i < kNumInteractions; ++i) total += table[i];
+  double x = rng_.NextDouble() * total;
+  for (int i = 0; i < kNumInteractions; ++i) {
+    x -= table[i];
+    if (x <= 0) return static_cast<Interaction>(i);
+  }
+  return Interaction::kHome;
+}
+
+StatusOr<ExecStats> TpcwDriver::Call(const std::string& proc,
+                                     const std::vector<Value>& args) {
+  ExecStats stats;
+  MT_RETURN_IF_ERROR(server_->CallProcedure(proc, args, &stats).status());
+  return stats;
+}
+
+Status TpcwDriver::EnsureCart(ExecStats* stats) {
+  if (!carts_.empty() && carts_.back().items > 0) return Status::Ok();
+  Cart cart;
+  cart.id = next_cart_id_;
+  next_cart_id_ += id_stride_;
+  MT_ASSIGN_OR_RETURN(ExecStats s1,
+                      Call("createemptycart", {Value::Int(cart.id)}));
+  stats->Add(s1);
+  MT_ASSIGN_OR_RETURN(
+      ExecStats s2,
+      Call("additem", {Value::Int(cart.id), Value::Int(RandomItem()),
+                       Value::Int(rng_.Uniform(1, 3))}));
+  stats->Add(s2);
+  cart.items = 1;
+  carts_.push_back(cart);
+  return Status::Ok();
+}
+
+StatusOr<ExecStats> TpcwDriver::Run(Interaction kind) {
+  ++interactions_run_;
+  ExecStats total;
+  auto add = [&](StatusOr<ExecStats> s) -> Status {
+    if (!s.ok()) return s.status();
+    total.Add(*s);
+    return Status::Ok();
+  };
+
+  switch (kind) {
+    case Interaction::kHome: {
+      MT_RETURN_IF_ERROR(add(Call("getname", {Value::Int(RandomCustomer())})));
+      MT_RETURN_IF_ERROR(add(Call("getrelated", {Value::Int(RandomItem())})));
+      break;
+    }
+    case Interaction::kNewProducts:
+      MT_RETURN_IF_ERROR(
+          add(Call("getnewproducts", {Value::String(RandomSubject())})));
+      break;
+    case Interaction::kBestSellers:
+      MT_RETURN_IF_ERROR(
+          add(Call("getbestsellers", {Value::String(RandomSubject())})));
+      break;
+    case Interaction::kProductDetail:
+      MT_RETURN_IF_ERROR(add(Call("getbook", {Value::Int(RandomItem())})));
+      break;
+    case Interaction::kSearchRequest:
+      MT_RETURN_IF_ERROR(add(Call("getrelated", {Value::Int(RandomItem())})));
+      break;
+    case Interaction::kSearchResults: {
+      int which = static_cast<int>(rng_.Uniform(0, 2));
+      const std::vector<std::string>& words = TitleWords();
+      const std::string& w = words[rng_.Uniform(0, words.size() - 1)];
+      if (which == 0) {
+        MT_RETURN_IF_ERROR(
+            add(Call("dosubjectsearch", {Value::String(RandomSubject())})));
+      } else if (which == 1) {
+        MT_RETURN_IF_ERROR(
+            add(Call("dotitlesearch", {Value::String("%" + w + "%")})));
+      } else {
+        MT_RETURN_IF_ERROR(
+            add(Call("doauthorsearch", {Value::String(w + "%")})));
+      }
+      break;
+    }
+    case Interaction::kShoppingCart: {
+      MT_RETURN_IF_ERROR(EnsureCart(&total));
+      Cart& cart = carts_.back();
+      MT_RETURN_IF_ERROR(
+          add(Call("additem", {Value::Int(cart.id), Value::Int(RandomItem()),
+                               Value::Int(rng_.Uniform(1, 3))})));
+      ++cart.items;
+      MT_RETURN_IF_ERROR(add(Call("resetcarttime", {Value::Int(cart.id)})));
+      MT_RETURN_IF_ERROR(add(Call("getcart", {Value::Int(cart.id)})));
+      break;
+    }
+    case Interaction::kCustomerRegistration: {
+      if (rng_.Bernoulli(0.2)) {
+        int64_t cid = next_customer_id_;
+        next_customer_id_ += id_stride_;
+        MT_RETURN_IF_ERROR(add(Call(
+            "createnewcustomer",
+            {Value::Int(cid), Value::Int(cid),
+             Value::String("nuser" + std::to_string(cid)),
+             Value::String("pw"), Value::String("new"), Value::String("user"),
+             Value::String("n" + std::to_string(cid) + "@example.com"),
+             Value::String("1 new st"), Value::String("new city"),
+             Value::String("99999"), Value::Int(1), Value::Double(0.1)})));
+      } else {
+        MT_RETURN_IF_ERROR(
+            add(Call("getcustomer", {Value::String(RandomUser())})));
+      }
+      break;
+    }
+    case Interaction::kBuyRequest: {
+      MT_RETURN_IF_ERROR(
+          add(Call("getcustomer", {Value::String(RandomUser())})));
+      MT_RETURN_IF_ERROR(EnsureCart(&total));
+      MT_RETURN_IF_ERROR(
+          add(Call("getcart", {Value::Int(carts_.back().id)})));
+      break;
+    }
+    case Interaction::kBuyConfirm: {
+      MT_RETURN_IF_ERROR(EnsureCart(&total));
+      Cart cart = carts_.back();
+      carts_.pop_back();
+      int64_t cid = RandomCustomer();
+      MT_RETURN_IF_ERROR(add(Call("getcdiscount", {Value::Int(cid)})));
+      int64_t oid = next_order_id_;
+      next_order_id_ += id_stride_;
+      MT_RETURN_IF_ERROR(add(Call(
+          "enterorder", {Value::Int(oid), Value::Int(cid), Value::Int(cart.id),
+                         Value::Int(cid), Value::Double(cart.items * 27.5)})));
+      break;
+    }
+    case Interaction::kOrderInquiry:
+      MT_RETURN_IF_ERROR(
+          add(Call("getpassword", {Value::String(RandomUser())})));
+      break;
+    case Interaction::kOrderDisplay:
+      MT_RETURN_IF_ERROR(
+          add(Call("getmostrecentorder", {Value::String(RandomUser())})));
+      break;
+    case Interaction::kAdminRequest:
+      MT_RETURN_IF_ERROR(add(Call("getbook", {Value::Int(RandomItem())})));
+      break;
+    case Interaction::kAdminConfirm: {
+      MT_RETURN_IF_ERROR(add(Call(
+          "adminupdate", {Value::Int(RandomItem()),
+                          Value::Double(5.0 + rng_.Uniform(0, 90))})));
+      MT_RETURN_IF_ERROR(add(Call("getrelated", {Value::Int(RandomItem())})));
+      break;
+    }
+  }
+  return total;
+}
+
+StatusOr<std::pair<Interaction, ExecStats>> TpcwDriver::RunNext(
+    WorkloadMix mix) {
+  Interaction kind = Pick(mix);
+  MT_ASSIGN_OR_RETURN(ExecStats stats, Run(kind));
+  return std::make_pair(kind, stats);
+}
+
+}  // namespace tpcw
+}  // namespace mtcache

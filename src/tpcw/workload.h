@@ -1,0 +1,99 @@
+#ifndef MTCACHE_TPCW_WORKLOAD_H_
+#define MTCACHE_TPCW_WORKLOAD_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/server.h"
+#include "tpcw/schema.h"
+
+namespace mtcache {
+namespace tpcw {
+
+/// The fourteen TPC-W web interactions (§6.1.1).
+enum class Interaction {
+  kHome,
+  kNewProducts,
+  kBestSellers,
+  kProductDetail,
+  kSearchRequest,
+  kSearchResults,
+  kShoppingCart,
+  kCustomerRegistration,
+  kBuyRequest,
+  kBuyConfirm,
+  kOrderInquiry,
+  kOrderDisplay,
+  kAdminRequest,
+  kAdminConfirm,
+};
+constexpr int kNumInteractions = 14;
+
+const char* InteractionName(Interaction kind);
+
+/// Browse vs Order activity class (the paper's table in §6.1.1).
+bool IsBrowseClass(Interaction kind);
+
+/// The three benchmark workloads: relative frequency of the two classes.
+enum class WorkloadMix { kBrowsing, kShopping, kOrdering };
+
+const char* MixName(WorkloadMix mix);
+/// 0.95 / 0.80 / 0.50.
+double BrowseFraction(WorkloadMix mix);
+
+/// Emulates the database portion of TPC-W user sessions against one SQL
+/// connection target (the backend directly, or an MTCache server — switching
+/// between the two is the "ODBC re-routing" of §4 and requires no change
+/// here). Executes interactions as stored-procedure calls and reports the
+/// measured work split (local vs backend) per interaction.
+class TpcwDriver {
+ public:
+  /// `driver_index`/`driver_stride` partition client-generated ids (carts,
+  /// new orders, new customers) across concurrent drivers.
+  TpcwDriver(Server* connection, const TpcwConfig& config, uint64_t seed,
+             int driver_index = 0, int driver_stride = 1);
+
+  /// Draws an interaction kind according to the mix.
+  Interaction Pick(WorkloadMix mix);
+
+  /// Executes one interaction (several procedure calls); returns measured
+  /// stats: local_cost = work on the connection's server, remote_cost = work
+  /// it pushed to the backend.
+  StatusOr<ExecStats> Run(Interaction kind);
+
+  /// Pick + Run.
+  StatusOr<std::pair<Interaction, ExecStats>> RunNext(WorkloadMix mix);
+
+  int64_t interactions_run() const { return interactions_run_; }
+
+ private:
+  struct Cart {
+    int64_t id = 0;
+    int items = 0;
+  };
+
+  StatusOr<ExecStats> Call(const std::string& proc,
+                           const std::vector<Value>& args);
+  Status EnsureCart(ExecStats* stats);
+
+  int64_t RandomCustomer() { return rng_.Uniform(1, config_.num_customers); }
+  int64_t RandomItem() { return rng_.Uniform(1, config_.num_items); }
+  std::string RandomSubject();
+  std::string RandomUser() { return "user" + std::to_string(RandomCustomer()); }
+
+  Server* server_;
+  TpcwConfig config_;
+  Random rng_;
+  int64_t next_cart_id_;
+  int64_t next_order_id_;
+  int64_t next_customer_id_;
+  int64_t id_stride_;
+  std::vector<Cart> carts_;
+  int64_t interactions_run_ = 0;
+};
+
+}  // namespace tpcw
+}  // namespace mtcache
+
+#endif  // MTCACHE_TPCW_WORKLOAD_H_

@@ -1,0 +1,40 @@
+#include "types/schema.h"
+
+namespace mtcache {
+
+int Schema::FindColumn(const std::string& name,
+                       const std::string& qualifier) const {
+  int found = -1;
+  for (int i = 0; i < num_columns(); ++i) {
+    const ColumnInfo& c = columns_[i];
+    if (c.name != name) continue;
+    if (!qualifier.empty() && c.table != qualifier) continue;
+    if (found >= 0) return -2;  // ambiguous
+    found = i;
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnInfo> cols = left.columns();
+  for (const ColumnInfo& c : right.columns()) cols.push_back(c);
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    if (!columns_[i].table.empty()) {
+      out += columns_[i].table;
+      out += ".";
+    }
+    out += columns_[i].name;
+    out += " ";
+    out += TypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace mtcache

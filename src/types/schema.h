@@ -1,0 +1,50 @@
+#ifndef MTCACHE_TYPES_SCHEMA_H_
+#define MTCACHE_TYPES_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace mtcache {
+
+/// One output column: a (possibly qualified) name and a type. `table` is the
+/// binding qualifier (table alias) when known; intermediate operators may
+/// leave it empty.
+struct ColumnInfo {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  std::string table;  // qualifier / alias, lower-cased; may be empty
+  bool nullable = true;
+};
+
+/// Ordered list of columns describing a row shape flowing through the system
+/// (table rows, operator outputs, query results).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnInfo> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnInfo& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnInfo>& columns() const { return columns_; }
+
+  void AddColumn(ColumnInfo col) { columns_.push_back(std::move(col)); }
+
+  /// Finds a column by name (and optional qualifier). Returns the ordinal or
+  /// -1 if not found, -2 if ambiguous. Names must already be lower-cased.
+  int FindColumn(const std::string& name, const std::string& qualifier) const;
+
+  /// Concatenation for join outputs: left columns then right columns.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnInfo> columns_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_TYPES_SCHEMA_H_

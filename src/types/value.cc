@@ -1,0 +1,164 @@
+#include "types/value.h"
+
+#include <functional>
+
+namespace mtcache {
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kInt64:
+      return "bigint";
+    case TypeId::kDouble:
+      return "float";
+    case TypeId::kString:
+      return "varchar";
+  }
+  return "unknown";
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null_ && other.is_null_) return 0;
+  if (is_null_) return -1;
+  if (other.is_null_) return 1;
+  // Numeric types compare by value across int/double.
+  bool numeric_a = type_ == TypeId::kInt64 || type_ == TypeId::kDouble ||
+                   type_ == TypeId::kBool;
+  bool numeric_b = other.type_ == TypeId::kInt64 ||
+                   other.type_ == TypeId::kDouble ||
+                   other.type_ == TypeId::kBool;
+  if (numeric_a && numeric_b) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      if (i_ < other.i_) return -1;
+      if (i_ > other.i_) return 1;
+      return 0;
+    }
+    double a = AsDouble();
+    double b = other.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (type_ == TypeId::kString && other.type_ == TypeId::kString) {
+    int c = s_.compare(other.s_);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Mixed incomparable types: order by type id to keep a total order.
+  return type_ < other.type_ ? -1 : (type_ > other.type_ ? 1 : 0);
+}
+
+double Value::SizeBytes() const {
+  if (is_null_) return 1;
+  switch (type_) {
+    case TypeId::kNull:
+      return 1;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kDouble:
+      return 8;
+    case TypeId::kString:
+      return 4 + static_cast<double>(s_.size());
+  }
+  return 8;
+}
+
+double Value::AsStatDouble() const {
+  if (is_null_) return 0;
+  switch (type_) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return static_cast<double>(i_);
+    case TypeId::kDouble:
+      return d_;
+    case TypeId::kString: {
+      // Order-preserving-ish projection of the first few characters, so range
+      // selectivity on strings is at least monotone.
+      double x = 0;
+      double scale = 1.0;
+      for (size_t i = 0; i < s_.size() && i < 8; ++i) {
+        scale /= 256.0;
+        x += static_cast<unsigned char>(s_[i]) * scale;
+      }
+      return x;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToSqlLiteral() const {
+  if (is_null_) return "NULL";
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return i_ ? "TRUE" : "FALSE";
+    case TypeId::kInt64:
+      return std::to_string(i_);
+    case TypeId::kDouble: {
+      std::string s = std::to_string(d_);
+      return s;
+    }
+    case TypeId::kString: {
+      std::string out = "'";
+      for (char c : s_) {
+        if (c == '\'') out += "''";
+        else out.push_back(c);
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string Value::ToString() const {
+  if (is_null_) return "NULL";
+  if (type_ == TypeId::kString) return s_;
+  return ToSqlLiteral();
+}
+
+size_t Value::Hash() const {
+  if (is_null_) return 0x9e3779b9;
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x9e3779b9;
+    case TypeId::kBool:
+    case TypeId::kInt64:
+      return std::hash<int64_t>()(i_);
+    case TypeId::kDouble: {
+      // Hash doubles that are whole numbers like the equal int (joins may
+      // compare int columns to double expressions).
+      double d = d_;
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) return std::hash<int64_t>()(i);
+      return std::hash<double>()(d);
+    }
+    case TypeId::kString:
+      return std::hash<std::string>()(s_);
+  }
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 1469598103934665603ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double RowSizeBytes(const Row& row) {
+  double total = 4;  // per-row header
+  for (const Value& v : row) total += v.SizeBytes();
+  return total;
+}
+
+}  // namespace mtcache

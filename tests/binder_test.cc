@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "binder/binder.h"
+#include "sql/parser.h"
+
+namespace mtcache {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef t;
+    t.name = "t";
+    t.schema = Schema({{"id", TypeId::kInt64, "t", false},
+                       {"name", TypeId::kString, "t", true},
+                       {"qty", TypeId::kInt64, "t", true}});
+    t.primary_key = {0};
+    ASSERT_TRUE(catalog_.CreateTable(std::move(t)).ok());
+
+    TableDef u;
+    u.name = "u";
+    u.schema = Schema({{"id", TypeId::kInt64, "u", false},
+                       {"t_id", TypeId::kInt64, "u", true},
+                       {"price", TypeId::kDouble, "u", true}});
+    u.primary_key = {0};
+    ASSERT_TRUE(catalog_.CreateTable(std::move(u)).ok());
+  }
+
+  StatusOr<LogicalPtr> Bind(const std::string& sql,
+                            const std::string& user = "dbo") {
+    auto stmt = ParseSql(sql);
+    if (!stmt.ok()) return stmt.status();
+    if ((*stmt)->kind != StmtKind::kSelect) {
+      return Status::InvalidArgument("not a select");
+    }
+    Binder binder(&catalog_, user);
+    return binder.BindSelect(static_cast<const SelectStmt&>(**stmt));
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesColumnsToOrdinals) {
+  auto plan = Bind("SELECT name, qty FROM t");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->schema.num_columns(), 2);
+  EXPECT_EQ((*plan)->schema.column(0).name, "name");
+  EXPECT_EQ((*plan)->schema.column(0).type, TypeId::kString);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumnErrors) {
+  EXPECT_EQ(Bind("SELECT x FROM missing").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Bind("SELECT missing_col FROM t").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  auto plan = Bind("SELECT id FROM t, u");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, QualifiedColumnsDisambiguate) {
+  auto plan = Bind("SELECT t.id, u.id FROM t, u WHERE t.id = u.t_id");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->schema.num_columns(), 2);
+}
+
+TEST_F(BinderTest, AliasesRebindQualifiers) {
+  auto plan = Bind("SELECT a.id FROM t a, t b WHERE a.id = b.qty");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Unqualified would now be ambiguous.
+  EXPECT_FALSE(Bind("SELECT id FROM t a, t b").ok());
+}
+
+TEST_F(BinderTest, StarExpandsAllColumns) {
+  auto plan = Bind("SELECT * FROM t");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->schema.num_columns(), 3);
+  auto qualified = Bind("SELECT u.* FROM t, u");
+  ASSERT_TRUE(qualified.ok());
+  EXPECT_EQ((*qualified)->schema.num_columns(), 3);
+}
+
+TEST_F(BinderTest, TypeMismatchInComparison) {
+  EXPECT_FALSE(Bind("SELECT id FROM t WHERE name > 5").ok());
+  EXPECT_FALSE(Bind("SELECT id FROM t WHERE name = qty").ok());
+  // Numeric cross-type comparisons are fine.
+  EXPECT_TRUE(Bind("SELECT id FROM u WHERE price > 5").ok());
+}
+
+TEST_F(BinderTest, ArithmeticOnStringsRejected) {
+  EXPECT_FALSE(Bind("SELECT name * 2 FROM t").ok());
+  // '+' is concatenation for strings.
+  EXPECT_TRUE(Bind("SELECT name + 'x' FROM t").ok());
+}
+
+TEST_F(BinderTest, AggregateRules) {
+  EXPECT_TRUE(Bind("SELECT qty, COUNT(*) FROM t GROUP BY qty").ok());
+  // Non-grouped column in the select list.
+  auto bad = Bind("SELECT name, COUNT(*) FROM t GROUP BY qty");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("GROUP BY"), std::string::npos);
+  // Aggregates in WHERE are rejected.
+  EXPECT_FALSE(Bind("SELECT qty FROM t WHERE COUNT(*) > 1").ok());
+  // HAVING may reference aggregates.
+  EXPECT_TRUE(
+      Bind("SELECT qty FROM t GROUP BY qty HAVING SUM(qty) > 10").ok());
+}
+
+TEST_F(BinderTest, DuplicateAggregatesShareOneSlot) {
+  auto plan = Bind("SELECT SUM(qty), SUM(qty) + 1 FROM t GROUP BY name");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Walk down to the Aggregate node and count agg items.
+  const LogicalOp* node = plan->get();
+  while (node->kind != LogicalKind::kAggregate) {
+    node = node->children[0].get();
+  }
+  EXPECT_EQ(static_cast<const LogicalAggregate*>(node)->aggs.size(), 1u);
+}
+
+TEST_F(BinderTest, OrderByAliasBindsAboveProjection) {
+  auto plan = Bind("SELECT qty * 2 AS doubled FROM t ORDER BY doubled DESC");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Shape: Sort above Project.
+  EXPECT_EQ(plan->get()->kind, LogicalKind::kSort);
+}
+
+TEST_F(BinderTest, OrderByHiddenColumnBindsBelowProjection) {
+  auto plan = Bind("SELECT id FROM t ORDER BY qty DESC");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Shape: Project above Sort (the sort key is not in the output).
+  EXPECT_EQ(plan->get()->kind, LogicalKind::kProject);
+  EXPECT_EQ(plan->get()->children[0]->kind, LogicalKind::kSort);
+}
+
+TEST_F(BinderTest, PermissionChecksUseGrants) {
+  catalog_.GetTable("t")->grants["alice"] = {Privilege::kSelect};
+  EXPECT_TRUE(Bind("SELECT id FROM t", "alice").ok());
+  EXPECT_EQ(Bind("SELECT id FROM t", "bob").status().code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(BinderTest, InsertArityAndTypes) {
+  Binder binder(&catalog_, "dbo");
+  auto parse_insert = [&](const std::string& sql) {
+    auto stmt = ParseSql(sql);
+    EXPECT_TRUE(stmt.ok());
+    return binder.BindInsert(static_cast<const InsertStmt&>(**stmt)).status();
+  };
+  EXPECT_TRUE(parse_insert("INSERT INTO t VALUES (1, 'a', 2)").ok());
+  EXPECT_FALSE(parse_insert("INSERT INTO t VALUES (1, 'a')").ok());
+  EXPECT_FALSE(parse_insert("INSERT INTO t VALUES (1, 'a', 'not int')").ok());
+  EXPECT_TRUE(parse_insert("INSERT INTO t (id, name) VALUES (1, 'a')").ok());
+  EXPECT_FALSE(parse_insert("INSERT INTO t (id, zzz) VALUES (1, 2)").ok());
+}
+
+TEST_F(BinderTest, UpdateBindsSetsOverTableScope) {
+  Binder binder(&catalog_, "dbo");
+  auto stmt = ParseSql("UPDATE t SET qty = qty + 1 WHERE name = 'x'");
+  ASSERT_TRUE(stmt.ok());
+  auto bound = binder.BindUpdate(static_cast<const UpdateStmt&>(**stmt));
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->sets.size(), 1u);
+  EXPECT_EQ(bound->sets[0].first, 2);  // qty ordinal
+  EXPECT_NE(bound->where, nullptr);
+}
+
+TEST_F(BinderTest, DerivedTableScopesAreIsolated) {
+  auto plan = Bind(
+      "SELECT d.total FROM (SELECT qty AS total FROM t) d WHERE d.total > 1");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Inner alias not visible outside.
+  EXPECT_FALSE(Bind("SELECT qty FROM (SELECT qty AS total FROM t) d").ok());
+}
+
+TEST_F(BinderTest, SelectWithoutFromBindsAgainstDual) {
+  auto plan = Bind("SELECT 1 + 2, 'x'");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ((*plan)->schema.num_columns(), 2);
+}
+
+}  // namespace
+}  // namespace mtcache

@@ -1,0 +1,162 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/bptree.h"
+
+namespace mtcache {
+namespace {
+
+Row K(int64_t v) { return Row{Value::Int(v)}; }
+Row K2(int64_t a, const std::string& b) {
+  return Row{Value::Int(a), Value::String(b)};
+}
+
+TEST(BPlusTreeTest, EmptyTreeIteration) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.SeekGe(K(0)).Valid());
+}
+
+TEST(BPlusTreeTest, InsertAndIterateInOrder) {
+  BPlusTree tree;
+  for (int64_t v : {5, 1, 9, 3, 7}) tree.Insert(K(v), v * 10);
+  std::vector<int64_t> keys;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    keys.push_back(it.key()[0].AsInt());
+    EXPECT_EQ(it.rowid(), it.key()[0].AsInt() * 10);
+  }
+  EXPECT_EQ(keys, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllBothRetained) {
+  BPlusTree tree;
+  tree.Insert(K(4), 1);
+  tree.Insert(K(4), 2);
+  tree.Insert(K(4), 3);
+  std::set<RowId> rids;
+  for (auto it = tree.SeekGe(K(4));
+       it.Valid() && BPlusTree::ComparePrefix(it.key(), K(4)) == 0;
+       it.Next()) {
+    rids.insert(it.rowid());
+  }
+  EXPECT_EQ(rids, (std::set<RowId>{1, 2, 3}));
+}
+
+TEST(BPlusTreeTest, SeekGeLandsOnFirstQualifying) {
+  BPlusTree tree;
+  for (int64_t v = 0; v < 100; v += 2) tree.Insert(K(v), v);
+  auto it = tree.SeekGe(K(31));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 32);
+  it = tree.SeekGe(K(32));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 32);
+}
+
+TEST(BPlusTreeTest, SeekGtSkipsEqual) {
+  BPlusTree tree;
+  for (int64_t v = 0; v < 100; v += 2) tree.Insert(K(v), v);
+  auto it = tree.SeekGt(K(32));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), 34);
+}
+
+TEST(BPlusTreeTest, SeekPastEndInvalid) {
+  BPlusTree tree;
+  tree.Insert(K(1), 1);
+  EXPECT_FALSE(tree.SeekGe(K(2)).Valid());
+  EXPECT_FALSE(tree.SeekGt(K(1)).Valid());
+}
+
+TEST(BPlusTreeTest, EraseRemovesOnlyMatchingRid) {
+  BPlusTree tree;
+  tree.Insert(K(4), 1);
+  tree.Insert(K(4), 2);
+  EXPECT_TRUE(tree.Erase(K(4), 1));
+  EXPECT_FALSE(tree.Erase(K(4), 1));
+  auto it = tree.SeekGe(K(4));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.rowid(), 2);
+  EXPECT_EQ(tree.size(), 1);
+}
+
+TEST(BPlusTreeTest, CompositeKeyPrefixSeek) {
+  BPlusTree tree;
+  tree.Insert(K2(1, "a"), 1);
+  tree.Insert(K2(1, "b"), 2);
+  tree.Insert(K2(2, "a"), 3);
+  // Prefix seek on first column only.
+  int count = 0;
+  for (auto it = tree.SeekGe(K(1));
+       it.Valid() && BPlusTree::ComparePrefix(it.key(), K(1)) == 0;
+       it.Next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(BPlusTreeTest, LargeRandomInsertEraseMatchesReferenceModel) {
+  BPlusTree tree;
+  std::multimap<int64_t, RowId> model;
+  Random rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = rng.Uniform(0, 500);
+    if (rng.Bernoulli(0.7) || model.empty()) {
+      tree.Insert(K(k), i);
+      model.emplace(k, i);
+    } else {
+      // Erase a random existing entry.
+      auto mit = model.lower_bound(k);
+      if (mit == model.end()) mit = model.begin();
+      EXPECT_TRUE(tree.Erase(K(mit->first), mit->second));
+      model.erase(mit);
+    }
+  }
+  ASSERT_EQ(tree.size(), static_cast<int64_t>(model.size()));
+  // Full-order check.
+  auto it = tree.Begin();
+  for (const auto& [k, rid] : model) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key()[0].AsInt(), k);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+  // Range check for every key value.
+  for (int64_t k = 0; k <= 500; k += 13) {
+    std::multiset<RowId> expect;
+    for (auto [mk, rid] : model) {
+      if (mk == k) expect.insert(rid);
+    }
+    std::multiset<RowId> got;
+    for (auto sit = tree.SeekGe(K(k));
+         sit.Valid() && BPlusTree::ComparePrefix(sit.key(), K(k)) == 0;
+         sit.Next()) {
+      got.insert(sit.rowid());
+    }
+    EXPECT_EQ(got, expect) << "key " << k;
+  }
+}
+
+TEST(BPlusTreeTest, SequentialInsertDepthStressAndFullScan) {
+  BPlusTree tree;
+  const int64_t n = 50000;
+  for (int64_t v = 0; v < n; ++v) tree.Insert(K(v), v);
+  EXPECT_EQ(tree.size(), n);
+  int64_t expect = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    ASSERT_EQ(it.key()[0].AsInt(), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, n);
+  auto it = tree.SeekGe(K(n / 2));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key()[0].AsInt(), n / 2);
+}
+
+}  // namespace
+}  // namespace mtcache

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/sim_clock.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mtcache {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::PermissionDenied("x").code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+StatusOr<int> ReturnsValue() { return 42; }
+StatusOr<int> ReturnsError() { return Status::Internal("boom"); }
+
+Status UsesAssignOrReturn(int* out) {
+  MT_ASSIGN_OR_RETURN(int v, ReturnsValue());
+  *out = v;
+  return Status::Ok();
+}
+
+Status PropagatesError(int* out) {
+  MT_ASSIGN_OR_RETURN(int v, ReturnsError());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, MacroAssignsValue) {
+  int out = 0;
+  ASSERT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 42);
+}
+
+TEST(StatusOrTest, MacroPropagatesError) {
+  int out = 0;
+  Status s = PropagatesError(&out);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(out, 0);
+}
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(123);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RandomTest, ExponentialMeanApproximately) {
+  Random r(99);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += r.Exponential(2.0);
+  EXPECT_NEAR(total / n, 2.0, 0.1);
+}
+
+TEST(RandomTest, AlphaStringRespectsLengthBounds) {
+  Random r(5);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = r.AlphaString(3, 8);
+    EXPECT_GE(s.size(), 3u);
+    EXPECT_LE(s.size(), 8u);
+    for (char c : s) {
+      EXPECT_GE(c, 'a');
+      EXPECT_LE(c, 'z');
+    }
+  }
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_FALSE(EqualsIgnoreCase("WHERE", "were"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, LikeMatchPercent) {
+  EXPECT_TRUE(LikeMatch("hello world", "%world"));
+  EXPECT_TRUE(LikeMatch("hello world", "hello%"));
+  EXPECT_TRUE(LikeMatch("hello world", "%lo wo%"));
+  EXPECT_TRUE(LikeMatch("abc", "%"));
+  EXPECT_FALSE(LikeMatch("abc", "abd%"));
+}
+
+TEST(StringUtilTest, LikeMatchUnderscore) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("caat", "c_t"));
+  EXPECT_TRUE(LikeMatch("caat", "c__t"));
+}
+
+TEST(StringUtilTest, LikeMatchExact) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+  EXPECT_FALSE(LikeMatch("ab", "abc"));
+}
+
+TEST(StringUtilTest, SqlQuoteEscapesQuotes) {
+  EXPECT_EQ(SqlQuote("o'brien"), "'o''brien'");
+  EXPECT_EQ(SqlQuote("plain"), "'plain'");
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+  clock.Advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.AdvanceTo(1.0);  // backwards move ignored
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.5);
+  clock.AdvanceTo(3.0);
+  EXPECT_DOUBLE_EQ(clock.Now(), 3.0);
+}
+
+}  // namespace
+}  // namespace mtcache

@@ -1,0 +1,556 @@
+#include <gtest/gtest.h>
+
+#include "engine/server.h"
+#include "opt/view_matching.h"
+
+namespace mtcache {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : server_(ServerOptions{"backend", "dbo", {}}, &clock_) {}
+
+  void Exec(const std::string& sql) {
+    Status s = server_.ExecuteScript(sql);
+    ASSERT_TRUE(s.ok()) << s.ToString() << "\nSQL: " << sql;
+  }
+
+  QueryResult Query(const std::string& sql) {
+    auto r = server_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nSQL: " << sql;
+    return r.ok() ? r.ConsumeValue() : QueryResult{};
+  }
+
+  void SetUpBasicTables() {
+    Exec("CREATE TABLE item (i_id INT PRIMARY KEY, i_title VARCHAR(60), "
+         "i_subject VARCHAR(20), i_cost FLOAT)");
+    Exec("CREATE TABLE orders (o_id INT PRIMARY KEY, o_c_id INT, o_total FLOAT, "
+         "o_date INT)");
+    Exec("CREATE INDEX item_subject ON item (i_subject)");
+    for (int i = 1; i <= 50; ++i) {
+      std::string subject = i % 5 == 0 ? "history" : "fiction";
+      Exec("INSERT INTO item VALUES (" + std::to_string(i) + ", 'title" +
+           std::to_string(i) + "', '" + subject + "', " +
+           std::to_string(i * 1.5) + ")");
+    }
+    for (int i = 1; i <= 30; ++i) {
+      Exec("INSERT INTO orders VALUES (" + std::to_string(i) + ", " +
+           std::to_string(i % 10 + 1) + ", " + std::to_string(i * 10.0) +
+           ", " + std::to_string(1000 + i) + ")");
+    }
+    server_.RecomputeStats();
+  }
+
+  SimClock clock_;
+  Server server_;
+};
+
+TEST_F(EngineTest, CreateInsertSelect) {
+  Exec("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20))");
+  Exec("INSERT INTO t VALUES (1, 'alpha'), (2, 'beta')");
+  QueryResult r = Query("SELECT id, name FROM t ORDER BY id");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[1][1].AsString(), "beta");
+}
+
+TEST_F(EngineTest, WhereFiltering) {
+  SetUpBasicTables();
+  QueryResult r = Query("SELECT i_id FROM item WHERE i_subject = 'history'");
+  EXPECT_EQ(r.rows.size(), 10u);
+}
+
+TEST_F(EngineTest, PrimaryKeyLookupUsesIndexSeek) {
+  SetUpBasicTables();
+  auto plan = server_.Explain("SELECT i_title FROM item WHERE i_id = 7");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string text = PhysicalToString(*plan->plan);
+  EXPECT_NE(text.find("IndexSeek(item.item_pk)"), std::string::npos) << text;
+  QueryResult r = Query("SELECT i_title FROM item WHERE i_id = 7");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "title7");
+}
+
+TEST_F(EngineTest, JoinQuery) {
+  SetUpBasicTables();
+  QueryResult r = Query(
+      "SELECT o.o_id, i.i_title FROM orders o JOIN item i ON o.o_c_id = "
+      "i.i_id WHERE o.o_total > 250");
+  // orders with o_total > 250: o_id 26..30; each joins item o_c_id in 1..10.
+  EXPECT_EQ(r.rows.size(), 5u);
+}
+
+TEST_F(EngineTest, GroupByAggregates) {
+  SetUpBasicTables();
+  QueryResult r = Query(
+      "SELECT i_subject, COUNT(*) cnt, AVG(i_cost) avgc FROM item "
+      "GROUP BY i_subject ORDER BY cnt DESC");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "fiction");
+  EXPECT_EQ(r.rows[0][1].AsInt(), 40);
+  EXPECT_EQ(r.rows[1][1].AsInt(), 10);
+}
+
+TEST_F(EngineTest, ScalarAggregateOnEmptyInput) {
+  Exec("CREATE TABLE empty_t (x INT)");
+  QueryResult r = Query("SELECT COUNT(*), SUM(x), MIN(x) FROM empty_t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+}
+
+TEST_F(EngineTest, TopWithOrderBy) {
+  SetUpBasicTables();
+  QueryResult r = Query("SELECT TOP 3 o_id FROM orders ORDER BY o_total DESC");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 30);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 28);
+}
+
+TEST_F(EngineTest, DerivedTableWithTop) {
+  SetUpBasicTables();
+  QueryResult r = Query(
+      "SELECT COUNT(*) FROM (SELECT TOP 10 o_id FROM orders ORDER BY o_date "
+      "DESC) recent");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+}
+
+TEST_F(EngineTest, DistinctPreservesFirstAppearance) {
+  SetUpBasicTables();
+  QueryResult r = Query("SELECT DISTINCT i_subject FROM item");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(EngineTest, LikeSearch) {
+  SetUpBasicTables();
+  QueryResult r = Query("SELECT i_id FROM item WHERE i_title LIKE 'title1%'");
+  // title1, title10..title19 -> 11 rows.
+  EXPECT_EQ(r.rows.size(), 11u);
+}
+
+TEST_F(EngineTest, UpdateAndDelete) {
+  SetUpBasicTables();
+  auto upd = server_.Execute("UPDATE item SET i_cost = 99.0 WHERE i_id <= 5");
+  ASSERT_TRUE(upd.ok());
+  EXPECT_EQ(upd->rows_affected, 5);
+  QueryResult r = Query("SELECT COUNT(*) FROM item WHERE i_cost = 99.0");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 5);
+  auto del = server_.Execute("DELETE FROM item WHERE i_subject = 'history'");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->rows_affected, 10);
+  r = Query("SELECT COUNT(*) FROM item");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 40);
+}
+
+TEST_F(EngineTest, ParameterizedQuery) {
+  SetUpBasicTables();
+  ExecStats stats;
+  ParamMap params;
+  params["@id"] = Value::Int(3);
+  auto r = server_.Execute("SELECT i_title FROM item WHERE i_id = @id",
+                           params, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "title3");
+  EXPECT_GT(stats.local_cost, 0);
+}
+
+TEST_F(EngineTest, PlanCacheHitsOnRepeatedStatement) {
+  SetUpBasicTables();
+  ParamMap params;
+  params["@id"] = Value::Int(3);
+  ExecStats stats;
+  ASSERT_TRUE(server_
+                  .Execute("SELECT i_title FROM item WHERE i_id = @id", params,
+                           &stats)
+                  .ok());
+  int64_t misses = server_.plan_cache_stats().misses;
+  params["@id"] = Value::Int(5);
+  ASSERT_TRUE(server_
+                  .Execute("SELECT i_title FROM item WHERE i_id = @id", params,
+                           &stats)
+                  .ok());
+  EXPECT_EQ(server_.plan_cache_stats().misses, misses);
+  EXPECT_GT(server_.plan_cache_stats().hits, 0);
+}
+
+TEST_F(EngineTest, InsertSelect) {
+  SetUpBasicTables();
+  Exec("CREATE TABLE expensive (e_id INT PRIMARY KEY, e_cost FLOAT)");
+  auto r = server_.Execute(
+      "INSERT INTO expensive (e_id, e_cost) SELECT i_id, i_cost FROM item "
+      "WHERE i_cost > 60");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows_affected, 10);
+}
+
+TEST_F(EngineTest, TransactionsRollback) {
+  SetUpBasicTables();
+  Status s = server_.ExecuteScript(
+      "BEGIN TRANSACTION; "
+      "DELETE FROM orders WHERE o_id <= 10; "
+      "ROLLBACK;");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  QueryResult r = Query("SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 30);
+}
+
+TEST_F(EngineTest, TransactionsCommit) {
+  SetUpBasicTables();
+  Status s = server_.ExecuteScript(
+      "BEGIN TRANSACTION; "
+      "DELETE FROM orders WHERE o_id <= 10; "
+      "COMMIT;");
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  QueryResult r = Query("SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 20);
+}
+
+TEST_F(EngineTest, NotNullEnforced) {
+  Exec("CREATE TABLE strict_t (id INT PRIMARY KEY, req VARCHAR(10) NOT NULL)");
+  auto r = server_.Execute("INSERT INTO strict_t (id) VALUES (1)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineTest, UniqueViolationReported) {
+  Exec("CREATE TABLE u_t (id INT PRIMARY KEY)");
+  Exec("INSERT INTO u_t VALUES (1)");
+  auto r = server_.Execute("INSERT INTO u_t VALUES (1)");
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(EngineTest, StoredProcedureWithParamsAndControlFlow) {
+  SetUpBasicTables();
+  Exec("CREATE PROCEDURE get_item(@id INT) AS BEGIN "
+       "SELECT i_id, i_title FROM item WHERE i_id = @id; "
+       "END");
+  ExecStats stats;
+  auto r = server_.CallProcedure("get_item", {Value::Int(12)}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][1].AsString(), "title12");
+}
+
+TEST_F(EngineTest, StoredProcedureVariablesAndIf) {
+  SetUpBasicTables();
+  Exec("CREATE PROCEDURE classify(@id INT) AS BEGIN "
+       "DECLARE @cost FLOAT; "
+       "SELECT @cost = i_cost FROM item WHERE i_id = @id; "
+       "IF @cost > 50 BEGIN SELECT 'pricey' verdict END "
+       "ELSE BEGIN SELECT 'cheap' verdict END "
+       "END");
+  auto r = server_.CallProcedure("classify", {Value::Int(40)}, nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsString(), "pricey");
+  r = server_.CallProcedure("classify", {Value::Int(10)}, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsString(), "cheap");
+}
+
+TEST_F(EngineTest, ProcedureTransactionAndDml) {
+  SetUpBasicTables();
+  Exec("CREATE PROCEDURE add_order(@id INT, @cid INT, @total FLOAT) AS BEGIN "
+       "BEGIN TRANSACTION; "
+       "INSERT INTO orders VALUES (@id, @cid, @total, GETDATE()); "
+       "UPDATE item SET i_cost = i_cost + 1 WHERE i_id = @cid; "
+       "COMMIT; "
+       "END");
+  auto r = server_.CallProcedure(
+      "add_order", {Value::Int(99), Value::Int(1), Value::Double(5.0)},
+      nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  QueryResult check = Query("SELECT COUNT(*) FROM orders");
+  EXPECT_EQ(check.rows[0][0].AsInt(), 31);
+}
+
+TEST_F(EngineTest, MaterializedViewPopulatedAndMaintained) {
+  SetUpBasicTables();
+  Exec("CREATE MATERIALIZED VIEW cheap_items AS "
+       "SELECT i_id, i_title, i_cost FROM item WHERE i_cost <= 30");
+  QueryResult r = Query("SELECT COUNT(*) FROM cheap_items");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 20);  // cost = 1.5 * id <= 30 -> id <= 20
+  // Insert a matching row: view follows synchronously.
+  Exec("INSERT INTO item VALUES (200, 'cheap new', 'fiction', 2.0)");
+  r = Query("SELECT COUNT(*) FROM cheap_items");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 21);
+  // Update pushes a row out of the view region.
+  Exec("UPDATE item SET i_cost = 500 WHERE i_id = 200");
+  r = Query("SELECT COUNT(*) FROM cheap_items");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 20);
+  // Delete a contained row.
+  Exec("DELETE FROM item WHERE i_id = 1");
+  r = Query("SELECT COUNT(*) FROM cheap_items");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 19);
+}
+
+TEST_F(EngineTest, ViewMatchingSubstitutesMaterializedView) {
+  SetUpBasicTables();
+  Exec("CREATE MATERIALIZED VIEW cheap_items AS "
+       "SELECT i_id, i_title, i_cost FROM item WHERE i_cost <= 30");
+  server_.RecomputeStats();
+  auto plan = server_.Explain(
+      "SELECT i_title FROM item WHERE i_cost <= 10 AND i_id > 2");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  std::string text = PhysicalToString(*plan->plan);
+  EXPECT_NE(text.find("cheap_items"), std::string::npos) << text;
+  // Results identical with and without view matching.
+  QueryResult with_views = Query(
+      "SELECT i_title FROM item WHERE i_cost <= 10 AND i_id > 2");
+  OptimizerOptions no_views = server_.optimizer_options();
+  no_views.enable_view_matching = false;
+  server_.set_optimizer_options(no_views);
+  QueryResult without = Query(
+      "SELECT i_title FROM item WHERE i_cost <= 10 AND i_id > 2");
+  EXPECT_EQ(with_views.rows.size(), without.rows.size());
+}
+
+TEST_F(EngineTest, LeftOuterJoin) {
+  Exec("CREATE TABLE l (id INT PRIMARY KEY)");
+  Exec("CREATE TABLE r (id INT PRIMARY KEY, lid INT)");
+  Exec("INSERT INTO l VALUES (1), (2), (3)");
+  Exec("INSERT INTO r VALUES (10, 1)");
+  QueryResult res = Query(
+      "SELECT l.id, r.id FROM l LEFT OUTER JOIN r ON l.id = r.lid "
+      "ORDER BY l.id");
+  ASSERT_EQ(res.rows.size(), 3u);
+  EXPECT_EQ(res.rows[0][1].AsInt(), 10);
+  EXPECT_TRUE(res.rows[1][1].is_null());
+  EXPECT_TRUE(res.rows[2][1].is_null());
+}
+
+TEST_F(EngineTest, PermissionDeniedForUnauthorizedUser) {
+  SetUpBasicTables();
+  TableDef* item = server_.db().catalog().GetTable("item");
+  item->grants["admin"] = {Privilege::kSelect, Privilege::kInsert,
+                           Privilege::kUpdate, Privilege::kDelete};
+  server_.InvalidatePlanCache();
+  // Default user "dbo" is no longer covered once grants are non-empty.
+  auto r = server_.Execute("SELECT i_id FROM item");
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(EngineTest, BestSellerShapedQuery) {
+  SetUpBasicTables();
+  Exec("CREATE TABLE order_line (ol_o_id INT, ol_i_id INT, ol_qty INT, "
+       "PRIMARY KEY (ol_o_id, ol_i_id))");
+  for (int o = 1; o <= 30; ++o) {
+    for (int k = 0; k < 3; ++k) {
+      int item_id = (o * 7 + k * 11) % 50 + 1;
+      Exec("INSERT INTO order_line VALUES (" + std::to_string(o) + ", " +
+           std::to_string(item_id) + ", " + std::to_string(k + 1) + ")");
+    }
+  }
+  server_.RecomputeStats();
+  QueryResult r = Query(
+      "SELECT TOP 5 i.i_id, i.i_title, SUM(ol.ol_qty) total "
+      "FROM order_line ol, item i, "
+      "(SELECT TOP 20 o_id FROM orders ORDER BY o_date DESC) recent "
+      "WHERE ol.ol_o_id = recent.o_id AND i.i_id = ol.ol_i_id "
+      "GROUP BY i.i_id, i.i_title ORDER BY total DESC");
+  EXPECT_LE(r.rows.size(), 5u);
+  ASSERT_GE(r.rows.size(), 1u);
+  // Totals are non-increasing.
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i - 1][2].AsInt(), r.rows[i][2].AsInt());
+  }
+}
+
+TEST_F(EngineTest, DropTableIndexProcedure) {
+  SetUpBasicTables();
+  Exec("CREATE PROCEDURE p1 AS BEGIN SELECT 1 one END");
+  Exec("DROP PROCEDURE p1");
+  EXPECT_FALSE(server_.Execute("EXEC p1").ok());
+
+  Exec("DROP INDEX item_subject ON item");
+  EXPECT_EQ(server_.db().catalog().GetTable("item")->FindIndex("item_subject"),
+            -1);
+  // Queries still work (via seq scan now).
+  QueryResult r = Query("SELECT COUNT(*) FROM item WHERE i_subject = 'history'");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+
+  Exec("DROP TABLE orders");
+  EXPECT_FALSE(server_.Execute("SELECT * FROM orders").ok());
+}
+
+TEST_F(EngineTest, DropTableWithDependentViewRejected) {
+  SetUpBasicTables();
+  Exec("CREATE MATERIALIZED VIEW mv AS SELECT i_id FROM item");
+  auto r = server_.Execute("DROP TABLE item");
+  EXPECT_FALSE(r.ok());
+  Exec("DROP MATERIALIZED VIEW mv");
+  Exec("DROP TABLE item");
+}
+
+TEST_F(EngineTest, GrantRevokeStatements) {
+  SetUpBasicTables();
+  Exec("GRANT SELECT, INSERT ON item TO alice");
+  const TableDef* item = server_.db().catalog().GetTable("item");
+  EXPECT_TRUE(Catalog::HasPrivilege(*item, "alice", Privilege::kSelect));
+  EXPECT_TRUE(Catalog::HasPrivilege(*item, "alice", Privilege::kInsert));
+  EXPECT_FALSE(Catalog::HasPrivilege(*item, "alice", Privilege::kDelete));
+  // Grants became non-empty: other users lose public access.
+  EXPECT_FALSE(Catalog::HasPrivilege(*item, "bob", Privilege::kSelect));
+  Exec("REVOKE INSERT ON item FROM alice");
+  EXPECT_FALSE(Catalog::HasPrivilege(*item, "alice", Privilege::kInsert));
+  EXPECT_TRUE(Catalog::HasPrivilege(*item, "alice", Privilege::kSelect));
+  Exec("GRANT ALL ON item TO admin");
+  EXPECT_TRUE(Catalog::HasPrivilege(*item, "admin", Privilege::kDelete));
+}
+
+TEST_F(EngineTest, ExplainStatementReturnsPlanText) {
+  SetUpBasicTables();
+  QueryResult r = Query("EXPLAIN SELECT i_title FROM item WHERE i_id = 7");
+  ASSERT_GE(r.rows.size(), 2u);
+  std::string all;
+  for (const Row& row : r.rows) all += row[0].AsString() + "\n";
+  EXPECT_NE(all.find("IndexSeek(item.item_pk)"), std::string::npos) << all;
+  EXPECT_NE(all.find("estimated cost"), std::string::npos) << all;
+}
+
+TEST_F(EngineTest, MixedResultPlanExecutesCorrectly) {
+  // §5.1.1 / Figure 3: a regular matview answers the in-range part and the
+  // base table tops up the remainder — allowed only for synchronously
+  // maintained views. Build the mixed plan directly from view matching and
+  // execute it on both sides of the boundary.
+  SetUpBasicTables();
+  Exec("CREATE MATERIALIZED VIEW cheap_items AS "
+       "SELECT i_id, i_title, i_cost FROM item WHERE i_cost <= 30");
+  server_.RecomputeStats();
+
+  auto stmt = ParseSql(
+      "SELECT i_id, i_title, i_cost, i_subject FROM item WHERE i_cost <= @p");
+  ASSERT_TRUE(stmt.ok());
+  Binder binder(&server_.db().catalog(), "dbo");
+  auto logical = binder.BindSelect(static_cast<const SelectStmt&>(**stmt));
+  ASSERT_TRUE(logical.ok());
+  // Locate the Filter(Get) site inside Project(Filter(Get)).
+  LogicalOp* filter = (*logical)->children[0].get();
+  ASSERT_EQ(filter->kind, LogicalKind::kFilter);
+  const auto* get = static_cast<const LogicalGet*>(filter->children[0].get());
+  std::vector<const BoundExpr*> conjuncts;
+  CollectConjuncts(*static_cast<LogicalFilter*>(filter)->predicate,
+                   &conjuncts);
+  std::set<int> used = {0, 1, 6};  // i_id, i_title, i_cost... and conjunct col
+  auto matches = MatchViews(*get, conjuncts, used, server_.db().catalog(),
+                            /*allow_mixed_results=*/true);
+  const ViewMatch* with_mixed = nullptr;
+  for (const auto& m : matches) {
+    if (m.mixed != nullptr) with_mixed = &m;
+  }
+  ASSERT_NE(with_mixed, nullptr) << "regular matview should offer Figure 3";
+
+  Optimizer optimizer(&server_.db().catalog(), {});
+  auto plan = optimizer.Optimize(*with_mixed->mixed);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  for (double p : {10.0, 30.0, 60.0}) {
+    ParamMap params;
+    params["@p"] = Value::Double(p);
+    ExecContext ctx;
+    ctx.storage = &server_.db();
+    ctx.params = &params;
+    auto mixed_rows = ExecutePlan(*plan->plan, &ctx);
+    ASSERT_TRUE(mixed_rows.ok()) << mixed_rows.status().ToString();
+    auto direct = server_.Execute(
+        "SELECT COUNT(*) FROM item WHERE i_cost <= " + std::to_string(p));
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(static_cast<int64_t>(mixed_rows->rows.size()),
+              direct->rows[0][0].AsInt())
+        << "@p = " << p;
+  }
+}
+
+TEST_F(EngineTest, CaseExpressionSearchedAndSimple) {
+  SetUpBasicTables();
+  QueryResult r = Query(
+      "SELECT i_id, CASE WHEN i_cost < 30 THEN 'cheap' "
+      "WHEN i_cost < 60 THEN 'mid' ELSE 'pricey' END AS band "
+      "FROM item WHERE i_id IN (1, 25, 45) ORDER BY i_id");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][1].AsString(), "cheap");   // 1.5
+  EXPECT_EQ(r.rows[1][1].AsString(), "mid");     // 37.5
+  EXPECT_EQ(r.rows[2][1].AsString(), "pricey");  // 67.5
+  // Simple CASE form + missing ELSE yields NULL.
+  QueryResult simple = Query(
+      "SELECT CASE i_subject WHEN 'history' THEN 1 END "
+      "FROM item WHERE i_id = 4");
+  EXPECT_TRUE(simple.rows[0][0].is_null());  // id 4 is fiction
+}
+
+TEST_F(EngineTest, CaseInsideAggregatesAndGroups) {
+  SetUpBasicTables();
+  // Pivot-style conditional aggregation.
+  QueryResult r = Query(
+      "SELECT SUM(CASE WHEN i_subject = 'history' THEN 1 ELSE 0 END) h, "
+      "SUM(CASE WHEN i_subject = 'fiction' THEN 1 ELSE 0 END) f FROM item");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 40);
+}
+
+TEST_F(EngineTest, WhileLoopInProcedure) {
+  SetUpBasicTables();
+  Exec("CREATE PROCEDURE sum_to(@n INT) AS BEGIN "
+       "DECLARE @i INT = 1; DECLARE @total INT = 0; "
+       "WHILE @i <= @n BEGIN "
+       "  SET @total = @total + @i; "
+       "  SET @i = @i + 1 "
+       "END; "
+       "SELECT @total AS total "
+       "END");
+  auto r = server_.CallProcedure("sum_to", {Value::Int(100)}, nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5050);
+}
+
+TEST_F(EngineTest, WhileLoopDrivingDml) {
+  Exec("CREATE TABLE seq_t (n INT PRIMARY KEY)");
+  Exec("DECLARE @i INT = 1; "
+       "WHILE @i <= 20 BEGIN "
+       "  INSERT INTO seq_t VALUES (@i); "
+       "  SET @i = @i + 1 "
+       "END;");
+  QueryResult r = Query("SELECT COUNT(*), SUM(n) FROM seq_t");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 20);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 210);
+}
+
+TEST_F(EngineTest, UnionAllConcatenatesSelects) {
+  SetUpBasicTables();
+  QueryResult r = Query(
+      "SELECT i_id FROM item WHERE i_id <= 2 "
+      "UNION ALL SELECT i_id FROM item WHERE i_id = 1 "
+      "UNION ALL SELECT o_id FROM orders WHERE o_id = 30");
+  ASSERT_EQ(r.rows.size(), 4u);  // duplicates preserved
+  EXPECT_EQ(r.rows[3][0].AsInt(), 30);
+  // Arity / type mismatches rejected.
+  EXPECT_FALSE(
+      server_.Execute("SELECT i_id, i_title FROM item UNION ALL "
+                      "SELECT o_id FROM orders")
+          .ok());
+  EXPECT_FALSE(
+      server_.Execute("SELECT i_id FROM item UNION ALL "
+                      "SELECT i_title FROM item")
+          .ok());
+}
+
+TEST_F(EngineTest, UnionAllWithAggregatedMembers) {
+  SetUpBasicTables();
+  QueryResult r = Query(
+      "SELECT COUNT(*) FROM item UNION ALL SELECT COUNT(*) FROM orders");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 50);
+  EXPECT_EQ(r.rows[1][0].AsInt(), 30);
+}
+
+TEST_F(EngineTest, GetDateUsesSimulatedClock) {
+  clock_.AdvanceTo(1234.0);
+  QueryResult r = Query("SELECT GETDATE()");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1234);
+}
+
+}  // namespace
+}  // namespace mtcache

@@ -1,0 +1,332 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "repl/replication.h"
+#include "tpcw/cache_setup.h"
+#include "tpcw/datagen.h"
+#include "tpcw/procs.h"
+#include "tpcw/workload.h"
+
+namespace mtcache {
+namespace tpcw {
+namespace {
+
+TpcwConfig SmallConfig() {
+  TpcwConfig config;
+  config.num_items = 200;
+  config.num_authors = 50;
+  config.num_customers = 300;
+  config.num_orders = 260;
+  config.best_seller_window = 40;
+  return config;
+}
+
+class TpcwBackendTest : public ::testing::Test {
+ protected:
+  TpcwBackendTest()
+      : backend_(ServerOptions{"backend", "dbo", {}}, &clock_, &links_) {}
+
+  void SetUp() override {
+    config_ = SmallConfig();
+    ASSERT_TRUE(CreateSchema(&backend_).ok());
+    ASSERT_TRUE(GenerateData(&backend_, config_).ok());
+    ASSERT_TRUE(CreateProcedures(&backend_, config_).ok());
+    clock_.AdvanceTo(LoadEndTime(config_));
+  }
+
+  int64_t Count(const std::string& table) {
+    auto r = backend_.Execute("SELECT COUNT(*) FROM " + table);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->rows[0][0].AsInt();
+  }
+
+  SimClock clock_;
+  LinkedServerRegistry links_;
+  Server backend_;
+  TpcwConfig config_;
+};
+
+TEST_F(TpcwBackendTest, DataGeneratedAtConfiguredScale) {
+  EXPECT_EQ(Count("item"), config_.num_items);
+  EXPECT_EQ(Count("author"), config_.num_authors);
+  EXPECT_EQ(Count("customer"), config_.num_customers);
+  EXPECT_EQ(Count("orders"), config_.num_orders);
+  EXPECT_EQ(Count("cc_xacts"), config_.num_orders);
+  EXPECT_GE(Count("order_line"), config_.num_orders);
+}
+
+TEST_F(TpcwBackendTest, DataIsDeterministicForSeed) {
+  Server other(ServerOptions{"backend2", "dbo", {}}, &clock_);
+  ASSERT_TRUE(CreateSchema(&other).ok());
+  ASSERT_TRUE(GenerateData(&other, config_).ok());
+  auto a = backend_.Execute("SELECT i_title FROM item WHERE i_id = 17");
+  auto b = other.Execute("SELECT i_title FROM item WHERE i_id = 17");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows[0][0].AsString(), b->rows[0][0].AsString());
+}
+
+TEST_F(TpcwBackendTest, GetBookReturnsItemWithAuthor) {
+  auto r = backend_.CallProcedure("getbook", {Value::Int(5)}, nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 5);
+  EXPECT_FALSE(r->rows[0][8].is_null());  // a_fname
+}
+
+TEST_F(TpcwBackendTest, BestSellersRanksBySales) {
+  auto r = backend_.CallProcedure(
+      "getbestsellers", {Value::String("history")}, nullptr);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (size_t i = 1; i < r->rows.size(); ++i) {
+    EXPECT_GE(r->rows[i - 1][4].AsInt(), r->rows[i][4].AsInt());
+  }
+}
+
+TEST_F(TpcwBackendTest, SearchProceduresReturnBoundedResults) {
+  auto subject = backend_.CallProcedure("dosubjectsearch",
+                                        {Value::String("arts")}, nullptr);
+  ASSERT_TRUE(subject.ok()) << subject.status().ToString();
+  EXPECT_LE(subject->rows.size(), 50u);
+  auto title = backend_.CallProcedure("dotitlesearch",
+                                      {Value::String("%river%")}, nullptr);
+  ASSERT_TRUE(title.ok()) << title.status().ToString();
+  EXPECT_LE(title->rows.size(), 50u);
+  auto author = backend_.CallProcedure("doauthorsearch",
+                                       {Value::String("shadow%")}, nullptr);
+  ASSERT_TRUE(author.ok()) << author.status().ToString();
+}
+
+TEST_F(TpcwBackendTest, CartLifecycleAndOrderPlacement) {
+  ASSERT_TRUE(backend_.CallProcedure("createemptycart", {Value::Int(7000)},
+                                     nullptr)
+                  .ok());
+  ASSERT_TRUE(backend_
+                  .CallProcedure("additem", {Value::Int(7000), Value::Int(3),
+                                             Value::Int(2)},
+                                 nullptr)
+                  .ok());
+  // Adding the same item again increments quantity.
+  ASSERT_TRUE(backend_
+                  .CallProcedure("additem", {Value::Int(7000), Value::Int(3),
+                                             Value::Int(1)},
+                                 nullptr)
+                  .ok());
+  auto cart = backend_.CallProcedure("getcart", {Value::Int(7000)}, nullptr);
+  ASSERT_TRUE(cart.ok());
+  ASSERT_EQ(cart->rows.size(), 1u);
+  EXPECT_EQ(cart->rows[0][1].AsInt(), 3);  // qty 2 + 1
+  int64_t orders_before = Count("orders");
+  auto order = backend_.CallProcedure(
+      "enterorder",
+      {Value::Int(900000), Value::Int(1), Value::Int(7000), Value::Int(1),
+       Value::Double(82.5)},
+      nullptr);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+  EXPECT_EQ(Count("orders"), orders_before + 1);
+  EXPECT_EQ(Count("shopping_cart_line"), 0);  // cart cleared
+  auto lines = backend_.Execute(
+      "SELECT ol_qty FROM order_line WHERE ol_o_id = 900000");
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines->rows.size(), 1u);
+  EXPECT_EQ(lines->rows[0][0].AsInt(), 3);
+}
+
+TEST_F(TpcwBackendTest, DriverRunsEveryInteraction) {
+  TpcwDriver driver(&backend_, config_, /*seed=*/17);
+  for (int i = 0; i < kNumInteractions; ++i) {
+    Interaction kind = static_cast<Interaction>(i);
+    auto stats = driver.Run(kind);
+    ASSERT_TRUE(stats.ok())
+        << InteractionName(kind) << ": " << stats.status().ToString();
+    EXPECT_GT(stats->local_cost + stats->remote_cost, 0)
+        << InteractionName(kind);
+  }
+}
+
+TEST_F(TpcwBackendTest, MixClassFrequenciesMatchPaperTable) {
+  TpcwDriver driver(&backend_, config_, 23);
+  const int n = 20000;
+  struct {
+    WorkloadMix mix;
+    double expect;
+  } cases[] = {{WorkloadMix::kBrowsing, 0.95},
+               {WorkloadMix::kShopping, 0.80},
+               {WorkloadMix::kOrdering, 0.50}};
+  for (const auto& c : cases) {
+    int browse = 0;
+    for (int i = 0; i < n; ++i) {
+      if (IsBrowseClass(driver.Pick(c.mix))) ++browse;
+    }
+    EXPECT_NEAR(browse / static_cast<double>(n), c.expect, 0.02)
+        << MixName(c.mix);
+  }
+}
+
+class TpcwCacheTest : public TpcwBackendTest {
+ protected:
+  TpcwCacheTest()
+      : cache_(ServerOptions{"cache1", "dbo", {}}, &clock_, &links_),
+        repl_(&clock_) {}
+
+  void SetUp() override {
+    TpcwBackendTest::SetUp();
+    auto setup = MTCache::Setup(&cache_, &backend_, &repl_);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+    mtcache_ = setup.ConsumeValue();
+    Status s = SetupTpcwCache(mtcache_.get(), config_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  Server cache_;
+  ReplicationSystem repl_;
+  std::unique_ptr<MTCache> mtcache_;
+};
+
+TEST_F(TpcwCacheTest, CachedViewsPopulated) {
+  auto r = cache_.Execute("SELECT COUNT(*) FROM item_cache");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), config_.num_items);
+  r = cache_.Execute("SELECT COUNT(*) FROM order_line_cache");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->rows[0][0].AsInt(), 0);
+}
+
+TEST_F(TpcwCacheTest, BrowseProceduresRunFullyLocally) {
+  for (const char* proc : {"getbook", "getrelated"}) {
+    ExecStats stats;
+    auto r = cache_.CallProcedure(proc, {Value::Int(5)}, &stats);
+    ASSERT_TRUE(r.ok()) << proc << ": " << r.status().ToString();
+    EXPECT_DOUBLE_EQ(stats.remote_cost, 0) << proc;
+  }
+  ExecStats stats;
+  auto r = cache_.CallProcedure("getbestsellers", {Value::String("arts")},
+                                &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_DOUBLE_EQ(stats.remote_cost, 0) << "best sellers offloaded";
+}
+
+TEST_F(TpcwCacheTest, CacheResultsMatchBackendResults) {
+  for (const char* subject : {"arts", "history", "travel"}) {
+    auto local = cache_.CallProcedure("getnewproducts",
+                                      {Value::String(subject)}, nullptr);
+    auto remote = backend_.CallProcedure("getnewproducts",
+                                         {Value::String(subject)}, nullptr);
+    ASSERT_TRUE(local.ok() && remote.ok());
+    ASSERT_EQ(local->rows.size(), remote->rows.size()) << subject;
+    for (size_t i = 0; i < local->rows.size(); ++i) {
+      EXPECT_EQ(local->rows[i][0].AsInt(), remote->rows[i][0].AsInt());
+    }
+  }
+}
+
+TEST_F(TpcwCacheTest, UpdatesFlowThroughCacheToBackendAndBack) {
+  // Customer table is not cached: getcustomer is copied and runs locally,
+  // fetching remotely. Order placement forwards to the backend and then
+  // replicates into orders_cache / order_line_cache.
+  TpcwDriver driver(&cache_, config_, 99);
+  auto stats = driver.Run(Interaction::kBuyConfirm);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->remote_cost, 0);
+  auto backend_count = backend_.Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(backend_count.ok());
+  EXPECT_EQ(backend_count->rows[0][0].AsInt(), config_.num_orders + 1);
+  // Cached copy is stale until replication runs.
+  auto cache_count = cache_.Execute("SELECT COUNT(*) FROM orders_cache");
+  ASSERT_TRUE(cache_count.ok());
+  EXPECT_EQ(cache_count->rows[0][0].AsInt(), config_.num_orders);
+  ASSERT_TRUE(repl_.RunOnce(nullptr, nullptr).ok());
+  cache_count = cache_.Execute("SELECT COUNT(*) FROM orders_cache");
+  ASSERT_TRUE(cache_count.ok());
+  EXPECT_EQ(cache_count->rows[0][0].AsInt(), config_.num_orders + 1);
+}
+
+TEST_F(TpcwCacheTest, FreshnessClauseSeesNewOrdersImmediately) {
+  // An order placed through the cache is visible to a freshness-bounded
+  // query right away (it bypasses the now-stale orders_cache), while the
+  // unconstrained query is served the stale cached copy until replication.
+  TpcwDriver driver(&cache_, config_, 5);
+  ASSERT_TRUE(driver.Run(Interaction::kBuyConfirm).ok());
+  clock_.Advance(30);
+  auto stale = cache_.Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(stale->rows[0][0].AsInt(), config_.num_orders);
+  auto fresh = cache_.Execute(
+      "SELECT COUNT(*) FROM orders WITH MAXSTALENESS 5");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(fresh->rows[0][0].AsInt(), config_.num_orders + 1);
+}
+
+TEST_F(TpcwCacheTest, ProcedurePlansCachedAcrossCalls) {
+  int64_t misses_before = cache_.plan_cache_stats().misses;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        cache_.CallProcedure("getbook", {Value::Int(i + 1)}, nullptr).ok());
+  }
+  // One optimization for the procedure's SELECT, not five.
+  EXPECT_EQ(cache_.plan_cache_stats().misses, misses_before + 1);
+}
+
+TEST_F(TpcwCacheTest, CachedViewsConvergeUnderMixedWorkloadStress) {
+  // End-to-end stress: 200 mixed interactions through the cache with
+  // periodic replication; afterwards every cached view must equal the
+  // select-project of its backend base table, row for row.
+  TpcwDriver driver(&cache_, config_, 4242);
+  for (int i = 0; i < 200; ++i) {
+    auto result = driver.RunNext(WorkloadMix::kOrdering);
+    ASSERT_TRUE(result.ok()) << i << ": " << result.status().ToString();
+    if (i % 7 == 6) {
+      clock_.Advance(0.5);
+      ASSERT_TRUE(repl_.RunOnce(nullptr, nullptr).ok());
+    }
+  }
+  clock_.Advance(0.5);
+  ASSERT_TRUE(repl_.RunOnce(nullptr, nullptr).ok());
+  ASSERT_EQ(repl_.PendingChanges(), 0);
+
+  auto canonical = [](Server* server, const std::string& sql) {
+    auto r = server->Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status().ToString();
+    std::vector<std::string> rows;
+    if (r.ok()) {
+      for (const Row& row : r->rows) {
+        std::string s;
+        for (const Value& v : row) s += v.ToSqlLiteral() + "|";
+        rows.push_back(std::move(s));
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  for (const char* table : {"item", "author", "orders", "order_line"}) {
+    EXPECT_EQ(canonical(&cache_,
+                        "SELECT * FROM " + std::string(table) + "_cache"),
+              canonical(&backend_, "SELECT * FROM " + std::string(table)))
+        << table << " diverged after the stress run";
+  }
+  // Interactions really happened: orders grew.
+  auto grown = backend_.Execute("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_GT(grown->rows[0][0].AsInt(), config_.num_orders);
+}
+
+TEST_F(TpcwCacheTest, DriverWorkloadRunsAgainstCache) {
+  TpcwDriver driver(&cache_, config_, 7);
+  double local = 0;
+  double remote = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto result = driver.RunNext(WorkloadMix::kShopping);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    local += result->second.local_cost;
+    remote += result->second.remote_cost;
+    if (i % 20 == 19) {
+      ASSERT_TRUE(repl_.RunOnce(nullptr, nullptr).ok());
+    }
+  }
+  // The Shopping mix is read-dominated: most work lands on the cache server.
+  EXPECT_GT(local, remote);
+}
+
+}  // namespace
+}  // namespace tpcw
+}  // namespace mtcache

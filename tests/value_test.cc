@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace mtcache {
+namespace {
+
+TEST(ValueTest, NullProperties) {
+  Value v = Value::Null();
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToSqlLiteral(), "NULL");
+}
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(42);
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.type(), TypeId::kInt64);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToSqlLiteral(), "42");
+}
+
+TEST(ValueTest, StringQuotingInLiteral) {
+  Value v = Value::String("it's");
+  EXPECT_EQ(v.ToSqlLiteral(), "'it''s'");
+  EXPECT_EQ(v.ToString(), "it's");
+}
+
+TEST(ValueTest, CompareInts) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::Int(3).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumeric) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-1000)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashEqualForEqualValues) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Int(7).Hash());
+  EXPECT_EQ(Value::String("a").Hash(), Value::String("a").Hash());
+  // Whole doubles hash like equal ints (join compatibility).
+  EXPECT_EQ(Value::Double(7.0).Hash(), Value::Int(7).Hash());
+}
+
+TEST(ValueTest, SizeBytes) {
+  EXPECT_DOUBLE_EQ(Value::Int(1).SizeBytes(), 8);
+  EXPECT_DOUBLE_EQ(Value::String("abcd").SizeBytes(), 8);  // 4 + len
+}
+
+TEST(ValueTest, AsStatDoubleMonotoneOnStrings) {
+  double a = Value::String("apple").AsStatDouble();
+  double b = Value::String("banana").AsStatDouble();
+  EXPECT_LT(a, b);
+}
+
+TEST(RowTest, HashRowDiffersOnContent) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("y")};
+  EXPECT_NE(HashRow(a), HashRow(b));
+  Row c = {Value::Int(1), Value::String("x")};
+  EXPECT_EQ(HashRow(a), HashRow(c));
+}
+
+TEST(SchemaTest, FindColumnUnqualified) {
+  Schema s({{"id", TypeId::kInt64, "t", false},
+            {"name", TypeId::kString, "t", true}});
+  EXPECT_EQ(s.FindColumn("name", ""), 1);
+  EXPECT_EQ(s.FindColumn("missing", ""), -1);
+}
+
+TEST(SchemaTest, FindColumnQualified) {
+  Schema s({{"id", TypeId::kInt64, "a", false},
+            {"id", TypeId::kInt64, "b", false}});
+  EXPECT_EQ(s.FindColumn("id", "a"), 0);
+  EXPECT_EQ(s.FindColumn("id", "b"), 1);
+  EXPECT_EQ(s.FindColumn("id", ""), -2);  // ambiguous
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a({{"x", TypeId::kInt64, "l", false}});
+  Schema b({{"y", TypeId::kString, "r", true}});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.num_columns(), 2);
+  EXPECT_EQ(c.column(0).name, "x");
+  EXPECT_EQ(c.column(1).name, "y");
+}
+
+}  // namespace
+}  // namespace mtcache

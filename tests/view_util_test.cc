@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "engine/view_util.h"
+#include "sql/parser.h"
+
+namespace mtcache {
+namespace {
+
+class ViewUtilTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_.name = "customer";
+    base_.schema = Schema({{"cid", TypeId::kInt64, "customer", false},
+                           {"cname", TypeId::kString, "customer", true},
+                           {"region", TypeId::kString, "customer", true},
+                           {"balance", TypeId::kDouble, "customer", true}});
+    base_.primary_key = {0};
+    base_.indexes.push_back(IndexDef{"customer_pk", {0}, true});
+    base_.stats.row_count = 1000;
+    base_.stats.columns.resize(4);
+    base_.stats.columns[0] = {1, 1000, 1000, 0, {}};
+    base_.stats.columns[1] = {0, 1, 900, 0, {}};
+    base_.stats.columns[2] = {0, 1, 4, 0, {}};
+    base_.stats.columns[3] = {0, 500, 800, 0, {}};
+  }
+
+  StatusOr<SelectProjectDef> Build(const std::string& select_sql) {
+    auto stmt = ParseSql(select_sql);
+    if (!stmt.ok()) return stmt.status();
+    return BuildSelectProjectDef(static_cast<const SelectStmt&>(**stmt),
+                                 base_);
+  }
+
+  TableDef base_;
+};
+
+TEST_F(ViewUtilTest, LowersSelectProjectWithConjunctivePredicates) {
+  auto def = Build(
+      "SELECT cid, cname FROM customer WHERE cid <= 100 AND region = 'east'");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def->base_table, "customer");
+  EXPECT_EQ(def->columns, (std::vector<std::string>{"cid", "cname"}));
+  ASSERT_EQ(def->predicates.size(), 2u);
+  EXPECT_EQ(def->predicates[0].column, "cid");
+  EXPECT_EQ(def->predicates[0].op, CompareOp::kLe);
+  EXPECT_EQ(def->predicates[1].constant.AsString(), "east");
+}
+
+TEST_F(ViewUtilTest, StarProjectsEverything) {
+  auto def = Build("SELECT * FROM customer");
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->columns.size(), 4u);
+}
+
+TEST_F(ViewUtilTest, FlippedComparisonNormalized) {
+  auto def = Build("SELECT cid FROM customer WHERE 100 >= cid");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  ASSERT_EQ(def->predicates.size(), 1u);
+  EXPECT_EQ(def->predicates[0].column, "cid");
+  EXPECT_EQ(def->predicates[0].op, CompareOp::kLe);
+}
+
+TEST_F(ViewUtilTest, RejectsNonSelectProjectShapes) {
+  EXPECT_FALSE(Build("SELECT cid, COUNT(*) FROM customer GROUP BY cid").ok());
+  EXPECT_FALSE(Build("SELECT TOP 5 cid FROM customer").ok());
+  EXPECT_FALSE(Build("SELECT DISTINCT region FROM customer").ok());
+  EXPECT_FALSE(Build("SELECT cid FROM customer ORDER BY cid").ok());
+  EXPECT_FALSE(Build("SELECT cid + 1 FROM customer").ok());
+  EXPECT_FALSE(Build("SELECT cid FROM customer WHERE cid <= 10 OR cid > 90").ok());
+  EXPECT_FALSE(Build("SELECT cid FROM customer WHERE cname LIKE 'a%'").ok());
+  EXPECT_FALSE(Build("SELECT cid FROM customer WHERE cid <= @p").ok());
+  EXPECT_FALSE(Build("SELECT zzz FROM customer").ok());
+}
+
+TEST_F(ViewUtilTest, ViewTableDefRequiresPrimaryKey) {
+  auto def = Build("SELECT cname, region FROM customer");  // no cid
+  ASSERT_TRUE(def.ok());
+  auto view = MakeViewTableDef("v", base_, *def, RelationKind::kCachedView);
+  EXPECT_FALSE(view.ok()) << "pk column missing must be rejected";
+  EXPECT_NE(view.status().message().find("primary key"), std::string::npos);
+}
+
+TEST_F(ViewUtilTest, ViewTableDefMapsKeyAndBuildsIndex) {
+  auto def = Build("SELECT cname, cid FROM customer WHERE cid <= 100");
+  ASSERT_TRUE(def.ok());
+  auto view = MakeViewTableDef("v", base_, *def, RelationKind::kCachedView);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->kind, RelationKind::kCachedView);
+  // cid is the SECOND view column.
+  EXPECT_EQ(view->primary_key, (std::vector<int>{1}));
+  ASSERT_EQ(view->indexes.size(), 1u);
+  EXPECT_TRUE(view->indexes[0].unique);
+  EXPECT_EQ(view->indexes[0].key_columns, (std::vector<int>{1}));
+  EXPECT_EQ(view->schema.column(0).name, "cname");
+  EXPECT_EQ(view->schema.column(0).type, TypeId::kString);
+}
+
+TEST_F(ViewUtilTest, DerivedStatsScaleWithPredicateSelectivity) {
+  auto def = Build("SELECT cid, cname FROM customer WHERE cid <= 250");
+  ASSERT_TRUE(def.ok());
+  TableStats stats = DeriveViewStats(base_, *def);
+  EXPECT_NEAR(stats.row_count, 250, 30);
+  ASSERT_EQ(stats.columns.size(), 2u);
+  // NDV capped by the derived row count.
+  EXPECT_LE(stats.columns[0].ndv, stats.row_count + 1);
+
+  auto eq = Build("SELECT cid, region FROM customer WHERE region = 'east'");
+  ASSERT_TRUE(eq.ok());
+  TableStats eq_stats = DeriveViewStats(base_, *eq);
+  EXPECT_NEAR(eq_stats.row_count, 250, 30);  // ndv(region)=4
+}
+
+}  // namespace
+}  // namespace mtcache
