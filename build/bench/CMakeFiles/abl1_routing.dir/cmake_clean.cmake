@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_routing.dir/abl1_routing.cc.o"
+  "CMakeFiles/abl1_routing.dir/abl1_routing.cc.o.d"
+  "abl1_routing"
+  "abl1_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

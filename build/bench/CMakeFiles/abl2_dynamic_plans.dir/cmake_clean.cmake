@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_dynamic_plans.dir/abl2_dynamic_plans.cc.o"
+  "CMakeFiles/abl2_dynamic_plans.dir/abl2_dynamic_plans.cc.o.d"
+  "abl2_dynamic_plans"
+  "abl2_dynamic_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_dynamic_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

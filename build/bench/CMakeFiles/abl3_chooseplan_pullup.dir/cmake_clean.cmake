@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_chooseplan_pullup.dir/abl3_chooseplan_pullup.cc.o"
+  "CMakeFiles/abl3_chooseplan_pullup.dir/abl3_chooseplan_pullup.cc.o.d"
+  "abl3_chooseplan_pullup"
+  "abl3_chooseplan_pullup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_chooseplan_pullup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl3_chooseplan_pullup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_histograms.dir/abl4_histograms.cc.o"
+  "CMakeFiles/abl4_histograms.dir/abl4_histograms.cc.o.d"
+  "abl4_histograms"
+  "abl4_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

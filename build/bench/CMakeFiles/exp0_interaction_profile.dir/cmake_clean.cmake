@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp0_interaction_profile.dir/exp0_interaction_profile.cc.o"
+  "CMakeFiles/exp0_interaction_profile.dir/exp0_interaction_profile.cc.o.d"
+  "exp0_interaction_profile"
+  "exp0_interaction_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp0_interaction_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_baseline_throughput.dir/exp1_baseline_throughput.cc.o"
+  "CMakeFiles/exp1_baseline_throughput.dir/exp1_baseline_throughput.cc.o.d"
+  "exp1_baseline_throughput"
+  "exp1_baseline_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_baseline_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp2_fig6_scaleout.dir/exp2_fig6_scaleout.cc.o"
+  "CMakeFiles/exp2_fig6_scaleout.dir/exp2_fig6_scaleout.cc.o.d"
+  "exp2_fig6_scaleout"
+  "exp2_fig6_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp2_fig6_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_fivecache_table.dir/exp4_fivecache_table.cc.o"
+  "CMakeFiles/exp4_fivecache_table.dir/exp4_fivecache_table.cc.o.d"
+  "exp4_fivecache_table"
+  "exp4_fivecache_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_fivecache_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp5_repl_overhead.dir/exp5_repl_overhead.cc.o"
+  "CMakeFiles/exp5_repl_overhead.dir/exp5_repl_overhead.cc.o.d"
+  "exp5_repl_overhead"
+  "exp5_repl_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp5_repl_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp5_repl_overhead.
+# This may be replaced when dependencies are built.

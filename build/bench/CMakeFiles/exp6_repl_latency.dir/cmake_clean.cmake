@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp6_repl_latency.dir/exp6_repl_latency.cc.o"
+  "CMakeFiles/exp6_repl_latency.dir/exp6_repl_latency.cc.o.d"
+  "exp6_repl_latency"
+  "exp6_repl_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp6_repl_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_replication.dir/micro_replication.cc.o"
+  "CMakeFiles/micro_replication.dir/micro_replication.cc.o.d"
+  "micro_replication"
+  "micro_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_plans.dir/dynamic_plans.cpp.o"
+  "CMakeFiles/dynamic_plans.dir/dynamic_plans.cpp.o.d"
+  "dynamic_plans"
+  "dynamic_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

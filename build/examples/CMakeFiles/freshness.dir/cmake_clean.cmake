@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freshness.dir/freshness.cpp.o"
+  "CMakeFiles/freshness.dir/freshness.cpp.o.d"
+  "freshness"
+  "freshness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freshness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_pipeline.dir/replication_pipeline.cpp.o"
+  "CMakeFiles/replication_pipeline.dir/replication_pipeline.cpp.o.d"
+  "replication_pipeline"
+  "replication_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

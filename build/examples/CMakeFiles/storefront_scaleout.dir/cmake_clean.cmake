@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storefront_scaleout.dir/storefront_scaleout.cpp.o"
+  "CMakeFiles/storefront_scaleout.dir/storefront_scaleout.cpp.o.d"
+  "storefront_scaleout"
+  "storefront_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storefront_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

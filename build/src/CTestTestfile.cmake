@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("catalog")
+subdirs("storage")
+subdirs("sql")
+subdirs("expr")
+subdirs("opt")
+subdirs("binder")
+subdirs("exec")
+subdirs("engine")
+subdirs("repl")
+subdirs("mtcache")
+subdirs("tpcw")
+subdirs("sim")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_binder.dir/binder.cc.o"
+  "CMakeFiles/mt_binder.dir/binder.cc.o.d"
+  "libmt_binder.a"
+  "libmt_binder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_binder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_catalog.dir/catalog.cc.o"
+  "CMakeFiles/mt_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/mt_catalog.dir/statistics.cc.o"
+  "CMakeFiles/mt_catalog.dir/statistics.cc.o.d"
+  "CMakeFiles/mt_catalog.dir/view_def.cc.o"
+  "CMakeFiles/mt_catalog.dir/view_def.cc.o.d"
+  "libmt_catalog.a"
+  "libmt_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_common.dir/random.cc.o"
+  "CMakeFiles/mt_common.dir/random.cc.o.d"
+  "CMakeFiles/mt_common.dir/status.cc.o"
+  "CMakeFiles/mt_common.dir/status.cc.o.d"
+  "CMakeFiles/mt_common.dir/string_util.cc.o"
+  "CMakeFiles/mt_common.dir/string_util.cc.o.d"
+  "libmt_common.a"
+  "libmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_engine.dir/database.cc.o"
+  "CMakeFiles/mt_engine.dir/database.cc.o.d"
+  "CMakeFiles/mt_engine.dir/server.cc.o"
+  "CMakeFiles/mt_engine.dir/server.cc.o.d"
+  "CMakeFiles/mt_engine.dir/view_util.cc.o"
+  "CMakeFiles/mt_engine.dir/view_util.cc.o.d"
+  "libmt_engine.a"
+  "libmt_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

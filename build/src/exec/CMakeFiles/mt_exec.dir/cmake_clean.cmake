@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_exec.dir/exec.cc.o"
+  "CMakeFiles/mt_exec.dir/exec.cc.o.d"
+  "libmt_exec.a"
+  "libmt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_expr.dir/bound_expr.cc.o"
+  "CMakeFiles/mt_expr.dir/bound_expr.cc.o.d"
+  "libmt_expr.a"
+  "libmt_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_mtcache.dir/mtcache.cc.o"
+  "CMakeFiles/mt_mtcache.dir/mtcache.cc.o.d"
+  "libmt_mtcache.a"
+  "libmt_mtcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_mtcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cardinality.cc" "src/opt/CMakeFiles/mt_opt.dir/cardinality.cc.o" "gcc" "src/opt/CMakeFiles/mt_opt.dir/cardinality.cc.o.d"
+  "/root/repo/src/opt/logical.cc" "src/opt/CMakeFiles/mt_opt.dir/logical.cc.o" "gcc" "src/opt/CMakeFiles/mt_opt.dir/logical.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/mt_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/mt_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/physical.cc" "src/opt/CMakeFiles/mt_opt.dir/physical.cc.o" "gcc" "src/opt/CMakeFiles/mt_opt.dir/physical.cc.o.d"
+  "/root/repo/src/opt/unparse.cc" "src/opt/CMakeFiles/mt_opt.dir/unparse.cc.o" "gcc" "src/opt/CMakeFiles/mt_opt.dir/unparse.cc.o.d"
+  "/root/repo/src/opt/view_matching.cc" "src/opt/CMakeFiles/mt_opt.dir/view_matching.cc.o" "gcc" "src/opt/CMakeFiles/mt_opt.dir/view_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/mt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/mt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/mt_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mt_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

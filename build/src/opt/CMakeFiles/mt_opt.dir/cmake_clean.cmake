@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_opt.dir/cardinality.cc.o"
+  "CMakeFiles/mt_opt.dir/cardinality.cc.o.d"
+  "CMakeFiles/mt_opt.dir/logical.cc.o"
+  "CMakeFiles/mt_opt.dir/logical.cc.o.d"
+  "CMakeFiles/mt_opt.dir/optimizer.cc.o"
+  "CMakeFiles/mt_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/mt_opt.dir/physical.cc.o"
+  "CMakeFiles/mt_opt.dir/physical.cc.o.d"
+  "CMakeFiles/mt_opt.dir/unparse.cc.o"
+  "CMakeFiles/mt_opt.dir/unparse.cc.o.d"
+  "CMakeFiles/mt_opt.dir/view_matching.cc.o"
+  "CMakeFiles/mt_opt.dir/view_matching.cc.o.d"
+  "libmt_opt.a"
+  "libmt_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_repl.dir/replication.cc.o"
+  "CMakeFiles/mt_repl.dir/replication.cc.o.d"
+  "libmt_repl.a"
+  "libmt_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

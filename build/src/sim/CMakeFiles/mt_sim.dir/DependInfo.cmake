@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/testbed.cc" "src/sim/CMakeFiles/mt_sim.dir/testbed.cc.o" "gcc" "src/sim/CMakeFiles/mt_sim.dir/testbed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tpcw/CMakeFiles/mt_tpcw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mtcache/CMakeFiles/mt_mtcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/mt_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mt_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/binder/CMakeFiles/mt_binder.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/mt_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/mt_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/mt_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/mt_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

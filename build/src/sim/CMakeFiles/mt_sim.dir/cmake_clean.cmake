@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_sim.dir/testbed.cc.o"
+  "CMakeFiles/mt_sim.dir/testbed.cc.o.d"
+  "libmt_sim.a"
+  "libmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_sql.dir/ast.cc.o"
+  "CMakeFiles/mt_sql.dir/ast.cc.o.d"
+  "CMakeFiles/mt_sql.dir/lexer.cc.o"
+  "CMakeFiles/mt_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/mt_sql.dir/parser.cc.o"
+  "CMakeFiles/mt_sql.dir/parser.cc.o.d"
+  "libmt_sql.a"
+  "libmt_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_storage.dir/bptree.cc.o"
+  "CMakeFiles/mt_storage.dir/bptree.cc.o.d"
+  "CMakeFiles/mt_storage.dir/table.cc.o"
+  "CMakeFiles/mt_storage.dir/table.cc.o.d"
+  "CMakeFiles/mt_storage.dir/wal.cc.o"
+  "CMakeFiles/mt_storage.dir/wal.cc.o.d"
+  "libmt_storage.a"
+  "libmt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_tpcw.dir/cache_setup.cc.o"
+  "CMakeFiles/mt_tpcw.dir/cache_setup.cc.o.d"
+  "CMakeFiles/mt_tpcw.dir/datagen.cc.o"
+  "CMakeFiles/mt_tpcw.dir/datagen.cc.o.d"
+  "CMakeFiles/mt_tpcw.dir/procs.cc.o"
+  "CMakeFiles/mt_tpcw.dir/procs.cc.o.d"
+  "CMakeFiles/mt_tpcw.dir/schema.cc.o"
+  "CMakeFiles/mt_tpcw.dir/schema.cc.o.d"
+  "CMakeFiles/mt_tpcw.dir/workload.cc.o"
+  "CMakeFiles/mt_tpcw.dir/workload.cc.o.d"
+  "libmt_tpcw.a"
+  "libmt_tpcw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_tpcw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

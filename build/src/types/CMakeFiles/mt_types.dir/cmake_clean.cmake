@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_types.dir/schema.cc.o"
+  "CMakeFiles/mt_types.dir/schema.cc.o.d"
+  "CMakeFiles/mt_types.dir/value.cc.o"
+  "CMakeFiles/mt_types.dir/value.cc.o.d"
+  "libmt_types.a"
+  "libmt_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtcache_test.dir/mtcache_test.cc.o"
+  "CMakeFiles/mtcache_test.dir/mtcache_test.cc.o.d"
+  "mtcache_test"
+  "mtcache_test.pdb"
+  "mtcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_util_test.dir/view_util_test.cc.o"
+  "CMakeFiles/view_util_test.dir/view_util_test.cc.o.d"
+  "view_util_test"
+  "view_util_test.pdb"
+  "view_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
