@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# One-command build + test.
+#
+#   scripts/check.sh          # configure + build + full test suite
+#   scripts/check.sh asan     # same, under -fsanitize=address,undefined,
+#                             # running the fault-injection suites
+#
+# The asan mode exercises the crash/restart paths with memory checking on:
+# replication_fault_test (incl. the 200-seed randomized schedules),
+# mtcache_resync_test, and property_test.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-default}"
+case "$mode" in
+  default)
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)"
+    ctest --preset default
+    ;;
+  asan)
+    cmake --preset asan
+    cmake --build --preset asan -j "$(nproc)" --target \
+      replication_fault_test mtcache_resync_test property_test \
+      replication_test mtcache_test
+    (cd build-asan && ctest --output-on-failure -j "$(nproc)" -R \
+      'ReplicationFault|MtcacheResync|ReplicationConvergence|Replication(Test|Metrics)|MTCache')
+    ;;
+  *)
+    echo "usage: $0 [default|asan]" >&2
+    exit 2
+    ;;
+esac

@@ -20,6 +20,7 @@ enum class StatusCode {
   kNotImplemented,
   kAborted,
   kInternal,
+  kUnavailable,
 };
 
 /// A Status is a cheap value type carrying success or an error code plus a
@@ -54,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -100,6 +100,16 @@ Status MTCache::CreateCachedView(const std::string& name,
   {
     auto txn = cache_->db().txn_manager().Begin();
     for (const Row& row : snapshot->rows) {
+      if (SnapshotRowCrash()) {
+        // Mid-snapshot crash: roll the copy back and drop the half-built
+        // view so the optimizer never sees a partially populated replica.
+        // Retrying CreateCachedView starts over from scratch.
+        cache_->db().txn_manager().Abort(txn.get());
+        cache_->db().DropTable(name).ok();
+        cache_->InvalidatePlanCache();
+        return Status::Unavailable("injected crash: snapshot of " + name +
+                                   " died mid-copy");
+      }
       auto inserted = backing->Insert(row, txn.get());
       if (!inserted.ok()) {
         cache_->db().txn_manager().Abort(txn.get());
@@ -169,6 +179,17 @@ Status MTCache::RefreshCachedView(const std::string& name) {
       }
     }
     for (const Row& row : snapshot.rows) {
+      if (SnapshotRowCrash()) {
+        // Mid-refresh crash: the abort restores the previous contents, so
+        // no half-populated state is ever visible. The view is left
+        // unsubscribed (subscription_id == -1) and possibly stale — exactly
+        // the condition RefreshCachedView repairs — and the consistency
+        // checker flags it until the refresh is retried.
+        cache_->db().txn_manager().Abort(txn.get());
+        cache_->InvalidatePlanCache();
+        return Status::Unavailable("injected crash: resync of " + name +
+                                   " died mid-copy");
+      }
       auto inserted = backing->Insert(row, txn.get());
       if (!inserted.ok()) {
         cache_->db().txn_manager().Abort(txn.get());
@@ -187,6 +208,11 @@ Status MTCache::RefreshCachedView(const std::string& name) {
   backing->RecomputeStats();
   cache_->InvalidatePlanCache();
   return Status::Ok();
+}
+
+bool MTCache::SnapshotRowCrash() {
+  return fault_plan_ != nullptr &&
+         fault_plan_->Decide(FaultSite::kSnapshotRow) == FaultAction::kCrash;
 }
 
 Status MTCache::CopyProcedure(const std::string& name) {

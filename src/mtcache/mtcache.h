@@ -61,6 +61,14 @@ class MTCache {
   /// information as future work; the statistics half is implemented here.)
   Status RefreshShadowedStatistics();
 
+  /// Fault schedule consulted during snapshot copies (FaultSite::
+  /// kSnapshotRow). A crash mid-copy rolls the snapshot back cleanly:
+  /// CreateCachedView drops the half-built view entirely; RefreshCachedView
+  /// restores the previous contents and leaves the view unsubscribed (the
+  /// consistency checker flags it until the refresh is retried). Not owned;
+  /// null = no faults.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
   Server* cache() { return cache_; }
   Server* backend() { return backend_; }
 
@@ -71,11 +79,14 @@ class MTCache {
         options_(std::move(options)) {}
 
   Status CloneCatalog();
+  /// Fires the snapshot-row fault site; true when the copy must crash.
+  bool SnapshotRowCrash();
 
   Server* cache_;
   Server* backend_;
   ReplicationSystem* repl_;
   MTCacheOptions options_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace mtcache

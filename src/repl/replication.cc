@@ -1,5 +1,7 @@
 #include "repl/replication.h"
 
+#include <utility>
+
 #include "opt/cost_model.h"
 
 namespace mtcache {
@@ -51,6 +53,21 @@ Status ReplicationSystem::Unsubscribe(int64_t subscription_id) {
   return Status::Ok();
 }
 
+Status ReplicationSystem::Crash(const std::string& what) {
+  ++metrics_.crashes_injected;
+  return Status::Unavailable("injected crash: " + what);
+}
+
+void ReplicationSystem::RecordFailure(Subscription* sub) {
+  ++sub->consecutive_failures;
+  int shift = sub->consecutive_failures - 1;
+  if (shift > 16) shift = 16;
+  double backoff = backoff_base_ * static_cast<double>(int64_t{1} << shift);
+  if (backoff > backoff_max_) backoff = backoff_max_;
+  double now = clock_ != nullptr ? clock_->Now() : 0.0;
+  sub->retry_after = now + backoff;
+}
+
 Status ReplicationSystem::RunLogReader(Server* publisher,
                                        ExecStats* publisher_stats) {
   if (!log_reader_enabled_) return Status::Ok();
@@ -60,30 +77,47 @@ Status ReplicationSystem::RunLogReader(Server* publisher,
   }
   PublisherState& state = it->second;
   std::vector<LogRecord> records;
-  state.next_lsn = publisher->db().log().ReadFrom(state.next_lsn, &records);
+  Lsn scanned_to = publisher->db().log().ReadFrom(state.next_lsn, &records);
+
+  // The scan runs against shadow state: a copy of the open-transaction map
+  // and a staging area for distributed txns. Only a fully successful pass
+  // commits them (plus the read position, metrics, and log truncation), so
+  // an injected crash anywhere below leaves the durable state exactly as it
+  // was and the restarted reader re-runs the batch from the same LSN —
+  // transactions are distributed exactly once.
+  std::map<TxnId, std::vector<LogRecord>> open_txns = state.open_txns;
+  std::vector<std::pair<Subscription*, PendingTxn>> staged;
+  int64_t records_scanned = 0;
+  int64_t changes_enqueued = 0;
+  double publisher_cost = 0;
 
   for (LogRecord& rec : records) {
-    ++metrics_.records_scanned;
-    if (publisher_stats != nullptr) {
-      publisher_stats->local_cost += CostModel::kLogReadRecordCost;
+    if (Decide(FaultSite::kLogReadRecord) == FaultAction::kCrash) {
+      return Crash("log reader died at lsn " + std::to_string(rec.lsn) +
+                   " on " + publisher->name());
     }
+    ++records_scanned;
+    publisher_cost += CostModel::kLogReadRecordCost;
     switch (rec.type) {
       case LogRecordType::kBegin:
-        state.open_txns[rec.txn];  // start accumulating
+        open_txns[rec.txn];  // start accumulating
         break;
       case LogRecordType::kInsert:
       case LogRecordType::kDelete:
       case LogRecordType::kUpdate:
-        state.open_txns[rec.txn].push_back(std::move(rec));
+        open_txns[rec.txn].push_back(std::move(rec));
         break;
       case LogRecordType::kAbort:
-        state.open_txns.erase(rec.txn);
+        open_txns.erase(rec.txn);
         break;
       case LogRecordType::kCommit: {
-        auto txn_it = state.open_txns.find(rec.txn);
-        if (txn_it == state.open_txns.end()) break;
+        auto txn_it = open_txns.find(rec.txn);
+        if (txn_it == open_txns.end()) break;
         std::vector<LogRecord> changes = std::move(txn_it->second);
-        state.open_txns.erase(txn_it);
+        open_txns.erase(txn_it);
+        if (Decide(FaultSite::kDistributeTxn) == FaultAction::kCrash) {
+          return Crash("distributor died on txn " + std::to_string(rec.txn));
+        }
         // Filter and project per subscription (the distributor's job).
         for (auto& [id, sub] : subscriptions_) {
           if (sub->publisher != publisher) continue;
@@ -129,13 +163,11 @@ Status ReplicationSystem::RunLogReader(Server* publisher,
               continue;  // change entirely outside the article
             }
             pending.changes.push_back(std::move(out));
-            ++metrics_.changes_enqueued;
-            if (publisher_stats != nullptr) {
-              publisher_stats->local_cost += CostModel::kDistributeRecordCost;
-            }
+            ++changes_enqueued;
+            publisher_cost += CostModel::kDistributeRecordCost;
           }
           if (!pending.changes.empty()) {
-            sub->queue.push_back(std::move(pending));
+            staged.emplace_back(sub.get(), std::move(pending));
           }
         }
         break;
@@ -143,12 +175,28 @@ Status ReplicationSystem::RunLogReader(Server* publisher,
     }
   }
 
+  // Commit the scan: queues first (the distribution database), then the
+  // reader's durable position and the accounting.
+  for (auto& [sub, pending] : staged) {
+    sub->enqueued_history.push_back(pending.source_txn);
+    sub->queue.push_back(std::move(pending));
+  }
+  state.open_txns = std::move(open_txns);
+  state.next_lsn = scanned_to;
+  metrics_.records_scanned += records_scanned;
+  metrics_.changes_enqueued += changes_enqueued;
+  if (publisher_stats != nullptr) {
+    publisher_stats->local_cost += publisher_cost;
+  }
+
   // Processed records are no longer needed: "once changes have been
   // propagated to all subscribers, they are deleted" — here the distribution
   // database owns them, so the publisher log can truncate.
   if (state.open_txns.empty()) {
     publisher->db().log().TruncateBefore(state.next_lsn);
-    state.last_scan_time = clock_ != nullptr ? clock_->Now() : 0.0;
+    if (state.next_lsn == publisher->db().log().next_lsn()) {
+      state.last_scan_time = clock_ != nullptr ? clock_->Now() : 0.0;
+    }
   }
   return Status::Ok();
 }
@@ -182,7 +230,16 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
 
   auto local_txn = db.txn_manager().Begin();
   Status status = Status::Ok();
+  int64_t applied_changes = 0;
   for (const ReplChange& change : txn.changes) {
+    if (Decide(FaultSite::kApplyChange) == FaultAction::kCrash) {
+      // The subscriber dies mid-apply: its local transaction rolls back, so
+      // no partial txn is ever visible, and the delivery is retried.
+      db.txn_manager().Abort(local_txn.get());
+      return Crash("subscriber died applying txn " +
+                   std::to_string(txn.source_txn) + " into " +
+                   sub->target_table);
+    }
     if (stats != nullptr) {
       stats->local_cost += CostModel::kApplyRecordCost +
                            def.indexes.size() * CostModel::kIndexMaintRowCost;
@@ -212,7 +269,7 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
         break;
     }
     if (!status.ok()) break;
-    ++metrics_.changes_applied;
+    ++applied_changes;
   }
   if (!status.ok()) {
     db.txn_manager().Abort(local_txn.get());
@@ -220,6 +277,12 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
   }
   double now = clock_ != nullptr ? clock_->Now() : 0.0;
   db.txn_manager().Commit(local_txn.get(), now);
+  // The applied marker is recorded together with the commit (in a real
+  // subscriber it lives in the same database), so redelivery after a crash
+  // in the ack window below is detected and skipped — exactly-once apply.
+  sub->last_applied_txn = txn.source_txn;
+  sub->applied_history.push_back(txn.source_txn);
+  metrics_.changes_applied += applied_changes;
   ++metrics_.txns_applied;
   double latency = now - txn.commit_time;
   if (latency >= 0) {
@@ -227,18 +290,56 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
     metrics_.latency_max = std::max(metrics_.latency_max, latency);
     ++metrics_.latency_count;
   }
+  if (Decide(FaultSite::kApplyCommit) == FaultAction::kCrash) {
+    // Crash after the local commit but before the delivery is acked: the
+    // txn stays queued and will be redelivered, hitting the dedup above.
+    return Crash("subscriber died after committing txn " +
+                 std::to_string(txn.source_txn) + ", before ack");
+  }
   return Status::Ok();
 }
 
 Status ReplicationSystem::RunDistributionAgent(Server* subscriber,
                                                ExecStats* subscriber_stats) {
+  double now = clock_ != nullptr ? clock_->Now() : 0.0;
   for (auto& [id, sub] : subscriptions_) {
     if (sub->subscriber != subscriber) continue;
+    if (sub->retry_after > now) continue;  // backing off after a failure
     while (!sub->queue.empty()) {
-      MT_RETURN_IF_ERROR(ApplyTxn(sub.get(), sub->queue.front(),
-                                  subscriber_stats));
+      PendingTxn& txn = sub->queue.front();
+      // Redelivery of a transaction whose apply already committed (the
+      // agent crashed in the ack window): ack it without re-applying.
+      if (txn.source_txn == sub->last_applied_txn) {
+        ++metrics_.txns_retried;
+        sub->queue.pop_front();
+        continue;
+      }
+      FaultAction delivery = Decide(FaultSite::kDeliverTxn);
+      if (delivery == FaultAction::kDrop) {
+        // Lost in transit. The distribution database still holds it, so it
+        // is redelivered after a backoff.
+        ++metrics_.deliveries_dropped;
+        RecordFailure(sub.get());
+        break;
+      }
+      if (delivery == FaultAction::kDelay) break;  // stalls; next poll
+      if (delivery == FaultAction::kCrash) {
+        RecordFailure(sub.get());
+        return Crash("distribution agent died delivering to " +
+                     subscriber->name());
+      }
+      if (txn.attempts > 0) ++metrics_.txns_retried;
+      ++txn.attempts;
+      Status applied = ApplyTxn(sub.get(), txn, subscriber_stats);
+      if (!applied.ok()) {
+        RecordFailure(sub.get());
+        return applied;
+      }
       sub->queue.pop_front();
+      sub->consecutive_failures = 0;
+      sub->retry_after = 0;
     }
+    if (!sub->queue.empty()) continue;
     // Queue drained: the replica is current as of the publisher's last
     // fully-processed log position (freshness bookkeeping, §7 extension).
     auto pub = publishers_.find(sub->publisher);
@@ -282,6 +383,34 @@ int64_t ReplicationSystem::PendingChanges() const {
     }
   }
   return total;
+}
+
+bool ReplicationSystem::Quiesced() const {
+  for (const auto& [id, sub] : subscriptions_) {
+    if (!sub->queue.empty()) return false;
+  }
+  for (const auto& [server, state] : publishers_) {
+    if (!state.open_txns.empty()) return false;
+    if (state.next_lsn != server->db().log().next_lsn()) return false;
+  }
+  return true;
+}
+
+std::vector<SubscriptionInfo> ReplicationSystem::DescribeSubscriptions() const {
+  std::vector<SubscriptionInfo> out;
+  for (const auto& [id, sub] : subscriptions_) {
+    SubscriptionInfo info;
+    info.id = sub->id;
+    info.publisher = sub->publisher;
+    info.subscriber = sub->subscriber;
+    info.def = sub->article.def;
+    info.target_table = sub->target_table;
+    info.queued_txns = static_cast<int64_t>(sub->queue.size());
+    info.enqueued_txns = sub->enqueued_history;
+    info.applied_txns = sub->applied_history;
+    out.push_back(std::move(info));
+  }
+  return out;
 }
 
 }  // namespace mtcache

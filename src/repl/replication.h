@@ -10,6 +10,7 @@
 #include "catalog/view_def.h"
 #include "common/sim_clock.h"
 #include "engine/server.h"
+#include "repl/fault.h"
 
 namespace mtcache {
 
@@ -41,6 +42,8 @@ struct PendingTxn {
   TxnId source_txn = 0;
   double commit_time = 0;
   std::vector<ReplChange> changes;
+  /// Delivery attempts so far (drives the txns_retried metric).
+  int64_t attempts = 0;
 };
 
 struct ReplicationMetrics {
@@ -48,6 +51,9 @@ struct ReplicationMetrics {
   int64_t changes_enqueued = 0;    // distributor work
   int64_t changes_applied = 0;     // subscriber work
   int64_t txns_applied = 0;
+  int64_t txns_retried = 0;        // deliveries re-attempted after a failure
+  int64_t crashes_injected = 0;    // pipeline crashes taken (FaultPlan)
+  int64_t deliveries_dropped = 0;  // deliveries lost in transit (retried)
   double latency_sum = 0;          // commit-to-commit, seconds
   double latency_max = 0;
   int64_t latency_count = 0;
@@ -57,10 +63,42 @@ struct ReplicationMetrics {
   }
 };
 
+/// Read-only snapshot of one subscription's state, for the consistency
+/// checker: the article definition to recompute against the publisher, the
+/// target to diff, and the enqueue/apply histories for the commit-order
+/// prefix invariant.
+struct SubscriptionInfo {
+  int64_t id = 0;
+  Server* publisher = nullptr;
+  Server* subscriber = nullptr;
+  SelectProjectDef def;
+  std::string target_table;
+  int64_t queued_txns = 0;
+  std::vector<TxnId> enqueued_txns;  // commit order, as distributed
+  std::vector<TxnId> applied_txns;   // local-commit order
+};
+
 /// The replication pipeline: publishers' log readers, the distribution
 /// database, and push distribution agents. All components are polled
 /// explicitly (by tests, examples, or the multi-server simulation), never by
 /// background threads, so every run is deterministic.
+///
+/// Failure model: a FaultPlan (set_fault_plan) can crash any stage
+/// mid-operation, drop or delay deliveries, and stall WAL reads. Every stage
+/// recovers on its next poll:
+///   - The log reader works on shadow state (copies of its open-transaction
+///     map plus a staging area for distributed txns) and commits the scan —
+///     read position, open txns, queues, log truncation — only when the whole
+///     batch succeeds. A crash discards the shadow state, so the restarted
+///     reader resumes from the durable LSN and re-distributes exactly once.
+///   - The distribution database (per-subscription queues) is durable; a
+///     dropped or delayed delivery stays queued and is retried.
+///   - The subscriber applies each txn inside a local transaction and records
+///     the source txn id in the same commit, so a crash mid-apply rolls back
+///     cleanly and a crash after commit but before the ack is deduplicated on
+///     redelivery (exactly-once apply).
+///   - A failed subscription backs off exponentially on the simulated clock
+///     before its next delivery attempt.
 class ReplicationSystem {
  public:
   explicit ReplicationSystem(SimClock* clock) : clock_(clock) {}
@@ -84,12 +122,16 @@ class ReplicationSystem {
   /// article, and enqueues them in the distribution database. Work is
   /// charged to `publisher_stats` — this is the §6.2.2 backend overhead.
   /// When `enabled=false` (the log reader is "turned off"), nothing happens.
+  /// Returns kUnavailable when an injected fault crashed the reader; the
+  /// scan had no effect and the next call resumes from the same position.
   Status RunLogReader(Server* publisher, ExecStats* publisher_stats);
 
   /// Push distribution agent for one subscriber: applies every pending
   /// transaction, in commit order, inside a subscriber-local transaction.
   /// Apply work is charged to `subscriber_stats` (§6.2.2 mid-tier overhead);
   /// commit-to-commit latency is recorded in the metrics (§6.2.3).
+  /// Returns kUnavailable when an injected fault crashed the agent;
+  /// undelivered txns stay queued and are retried after a backoff.
   Status RunDistributionAgent(Server* subscriber, ExecStats* subscriber_stats);
 
   /// Convenience: one full pipeline round for every publisher + subscriber.
@@ -98,13 +140,34 @@ class ReplicationSystem {
   /// Total changes sitting in the distribution database.
   int64_t PendingChanges() const;
 
+  /// True when nothing is in flight anywhere: no queued deliveries, no open
+  /// transactions being accumulated, and every publisher log fully scanned.
+  /// This is the quiesce point at which the consistency checker's row-level
+  /// diff is meaningful.
+  bool Quiesced() const;
+
   const ReplicationMetrics& metrics() const { return metrics_; }
   void ResetMetrics() { metrics_ = ReplicationMetrics(); }
+
+  /// Snapshots of all live subscriptions (see SubscriptionInfo).
+  std::vector<SubscriptionInfo> DescribeSubscriptions() const;
 
   /// The §6.2.2 experiment switch: with the log reader off, no replication
   /// work happens at all (and the distribution queue stops growing).
   void set_log_reader_enabled(bool enabled) { log_reader_enabled_ = enabled; }
   bool log_reader_enabled() const { return log_reader_enabled_; }
+
+  /// Installs a fault schedule (null = no faults). Not owned.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
+  /// Exponential backoff applied to a subscription after a failed delivery:
+  /// base * 2^(consecutive failures - 1), capped at max, on the sim clock.
+  void set_retry_backoff(double base_seconds, double max_seconds) {
+    backoff_base_ = base_seconds;
+    backoff_max_ = max_seconds;
+  }
+  double backoff_max() const { return backoff_max_; }
 
  private:
   struct Subscription {
@@ -117,10 +180,23 @@ class ReplicationSystem {
     /// and must not be delivered (they are already in the initial copy).
     Lsn start_lsn = 0;
     std::deque<PendingTxn> queue;  // the distribution database
+    /// Source txn id of the last transaction applied at the subscriber,
+    /// recorded atomically with the local commit (the moral equivalent of
+    /// MSreplication_subscriptions' transaction sequence number). Dedupes
+    /// redelivery after a crash in the ack window.
+    TxnId last_applied_txn = 0;
+    /// Full histories, in order, for the commit-order prefix invariant.
+    std::vector<TxnId> enqueued_history;
+    std::vector<TxnId> applied_history;
+    // Retry/backoff state after failed deliveries.
+    int consecutive_failures = 0;
+    double retry_after = 0;
   };
 
   struct PublisherState {
     Server* server = nullptr;
+    /// Durable read position: only advances when a whole scan batch has been
+    /// distributed, so a crashed scan is re-run from here.
     Lsn next_lsn = 1;
     // Open transactions being accumulated from the log.
     std::map<TxnId, std::vector<LogRecord>> open_txns;
@@ -133,8 +209,20 @@ class ReplicationSystem {
   Status ApplyTxn(Subscription* sub, const PendingTxn& txn,
                   ExecStats* stats);
 
+  FaultAction Decide(FaultSite site) {
+    return fault_plan_ != nullptr ? fault_plan_->Decide(site)
+                                  : FaultAction::kNone;
+  }
+  /// Records an injected crash and returns the kUnavailable status the
+  /// crashed component surfaces to its caller.
+  Status Crash(const std::string& what);
+  void RecordFailure(Subscription* sub);
+
   SimClock* clock_;
   bool log_reader_enabled_ = true;
+  FaultPlan* fault_plan_ = nullptr;
+  double backoff_base_ = 0.05;
+  double backoff_max_ = 1.0;
   std::map<Server*, PublisherState> publishers_;
   std::map<int64_t, std::unique_ptr<Subscription>> subscriptions_;
   int64_t next_subscription_id_ = 1;

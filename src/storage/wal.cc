@@ -5,7 +5,9 @@ namespace mtcache {
 Lsn LogManager::ReadFrom(Lsn from, std::vector<LogRecord>* out) const {
   if (from < first_lsn_) from = first_lsn_;
   for (const LogRecord& rec : records_) {
-    if (rec.lsn >= from) out->push_back(rec);
+    if (rec.lsn < from) continue;
+    if (read_fault_hook_ && read_fault_hook_(rec.lsn)) return rec.lsn;
+    out->push_back(rec);
   }
   return next_lsn_;
 }

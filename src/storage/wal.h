@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,8 +51,17 @@ class LogManager {
   int64_t size() const { return static_cast<int64_t>(records_.size()); }
 
   /// Copies records with lsn in [from, next_lsn()) into `out`; returns the
-  /// new read position.
+  /// new read position. A read-fault hook (below) can stop the scan early,
+  /// in which case the returned position is the first *unread* lsn — the
+  /// caller resumes from there on its next poll.
   Lsn ReadFrom(Lsn from, std::vector<LogRecord>* out) const;
+
+  /// Fault-injection seam for the log-reader path: called before each record
+  /// is handed out; returning true aborts the scan at that record (a torn /
+  /// failed log page read). Replication recovery resumes from the returned
+  /// position, so a stalled read only delays propagation, never loses it.
+  using ReadFaultHook = std::function<bool(Lsn lsn)>;
+  void set_read_fault_hook(ReadFaultHook hook) { read_fault_hook_ = std::move(hook); }
 
   /// Drops records with lsn < up_to (done after distribution, §2.2: "once
   /// changes have been propagated to all subscribers, they are deleted").
@@ -61,6 +71,7 @@ class LogManager {
   std::deque<LogRecord> records_;
   Lsn next_lsn_ = 1;
   Lsn first_lsn_ = 1;
+  ReadFaultHook read_fault_hook_;
 };
 
 }  // namespace mtcache

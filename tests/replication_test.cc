@@ -283,12 +283,51 @@ TEST_F(ReplicationTest, ApplyConflictSurfacesAndPreservesAtomicity) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows[0][0].AsInt(), 0);
   EXPECT_EQ(repl_.PendingChanges(), 2);
-  // Repair (remove the intruder) and retry: the batch drains.
+  // Repair (remove the intruder), wait out the retry backoff, and retry:
+  // the batch drains.
   ASSERT_TRUE(
       cache_.ExecuteScript("DELETE FROM customer_east WHERE c_id = 50").ok());
+  clock_.Advance(repl_.backoff_max());
   ASSERT_TRUE(repl_.RunDistributionAgent(&cache_, nullptr).ok());
   EXPECT_EQ(CountCacheRows(), 2);
   EXPECT_EQ(repl_.PendingChanges(), 0);
+  EXPECT_GE(repl_.metrics().txns_retried, 1);
+}
+
+TEST_F(ReplicationTest, FailedDeliveryBacksOffUntilClockAdvances) {
+  // A failed apply must not be retried hot: the subscription backs off on
+  // the simulated clock, so an immediate agent run is a no-op.
+  ASSERT_TRUE(cache_
+                  .ExecuteScript("INSERT INTO customer_east VALUES (51, 'dup')")
+                  .ok());
+  ASSERT_TRUE(backend_
+                  .ExecuteScript(
+                      "INSERT INTO customer VALUES (51, 'clash', 'east', 0.0)")
+                  .ok());
+  ASSERT_TRUE(repl_.RunLogReader(&backend_, nullptr).ok());
+  EXPECT_FALSE(repl_.RunDistributionAgent(&cache_, nullptr).ok());
+  ASSERT_TRUE(
+      cache_.ExecuteScript("DELETE FROM customer_east WHERE c_id = 51").ok());
+  // Still backing off: nothing is delivered...
+  ASSERT_TRUE(repl_.RunDistributionAgent(&cache_, nullptr).ok());
+  EXPECT_EQ(repl_.PendingChanges(), 1);
+  // ...until the clock passes the backoff deadline.
+  clock_.Advance(repl_.backoff_max());
+  ASSERT_TRUE(repl_.RunDistributionAgent(&cache_, nullptr).ok());
+  EXPECT_EQ(repl_.PendingChanges(), 0);
+  EXPECT_EQ(CountCacheRows(), 1);
+}
+
+TEST(ReplicationMetricsTest, AvgLatencyGuardsDivideByZero) {
+  // Freshly-reset metrics have latency_count == 0; AvgLatency must return a
+  // defined 0.0, not NaN (this pins the divide-by-zero guard).
+  ReplicationMetrics metrics;
+  EXPECT_EQ(metrics.latency_count, 0);
+  EXPECT_EQ(metrics.AvgLatency(), 0.0);
+  metrics.latency_sum = 3.5;  // stale sum with no samples still guards
+  EXPECT_EQ(metrics.AvgLatency(), 0.0);
+  metrics.latency_count = 2;
+  EXPECT_DOUBLE_EQ(metrics.AvgLatency(), 1.75);
 }
 
 TEST_F(ReplicationTest, DeleteOfAlreadyMissingRowIsIdempotent) {
