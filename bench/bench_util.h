@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "sim/testbed.h"
 
@@ -32,6 +33,70 @@ T CheckOk(StatusOr<T> result, const char* what) {
     std::exit(1);
   }
   return result.ConsumeValue();
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string ValueToJson(const Value& v) {
+  if (v.is_null()) return "null";
+  switch (v.type()) {
+    case TypeId::kBool:
+      return v.AsBool() ? "true" : "false";
+    case TypeId::kString:
+      return "\"" + JsonEscape(v.AsString()) + "\"";
+    default:
+      return v.ToSqlLiteral();  // ints and round-trip-exact doubles
+  }
+}
+
+/// One server's full DMV state as a JSON object — one key per sys.dm_* view,
+/// each an array of row objects keyed by column name. Experiment harnesses
+/// append this to their output so a run's internal counters (plan cache,
+/// routing decisions, replication pipeline) are machine-checkable after the
+/// fact. Reading the DMVs goes through the ordinary SQL path, so the
+/// snapshot queries themselves appear in later snapshots' counters.
+inline std::string DmvSnapshotJson(Server* server) {
+  std::string out = "{";
+  bool first_dmv = true;
+  for (const std::string& name : server->dmvs().Names()) {
+    QueryResult r = CheckOk(server->Execute("SELECT * FROM sys." + name),
+                            "DMV snapshot");
+    if (!first_dmv) out += ", ";
+    first_dmv = false;
+    out += "\"" + name + "\": [";
+    for (size_t i = 0; i < r.rows.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{";
+      for (int c = 0; c < r.schema.num_columns(); ++c) {
+        if (c > 0) out += ", ";
+        out += "\"" + r.schema.column(c).name +
+               "\": " + ValueToJson(r.rows[i][c]);
+      }
+      out += "}";
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
 }
 
 /// The standard experiment scale (laptop-sized stand-in for the paper's

@@ -2,34 +2,62 @@
 // (web servers access it directly), users scaled until the latency bound is
 // barely met. Paper: Browsing 50 WIPS, Shopping 82 WIPS, Ordering 283 WIPS
 // with the backend at ~90% CPU.
+//
+// `--smoke` runs one short fixed-load measurement per mix instead of the
+// full throughput search, so CI can exercise the whole harness (including
+// the DMV snapshot) in seconds.
+
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 
 using namespace mtcache;
 using namespace mtcache::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   Banner("E1", "Baseline throughput without caching",
          "section 6.2.1 table (no cache: 50 / 82 / 283 WIPS)");
   std::printf("%-10s %8s %8s %12s %12s %10s\n", "Workload", "Users", "WIPS",
               "BackendCPU", "WebCPU", "p90(s)");
   const double paper[3] = {50, 82, 283};
   int i = 0;
+  std::string json_results;
   for (auto mix : {tpcw::WorkloadMix::kBrowsing, tpcw::WorkloadMix::kShopping,
                    tpcw::WorkloadMix::kOrdering}) {
     sim::TestbedConfig config = PaperConfig();
     config.mix = mix;
     config.caching = false;
     config.num_web_servers = 5;
+    if (smoke) config.profile_samples = 3;
     sim::Testbed testbed(config);
     Check(testbed.Initialize(), "testbed init");
     sim::TestbedResult r =
-        CheckOk(testbed.FindMaxThroughput(15, 80), "find max throughput");
+        smoke ? CheckOk(testbed.Run(10, 2, 10), "smoke run")
+              : CheckOk(testbed.FindMaxThroughput(15, 80), "find max throughput");
     std::printf("%-10s %8d %8.1f %11.1f%% %11.1f%% %10.2f   (paper: %.0f WIPS)\n",
                 tpcw::MixName(mix), r.users, r.wips, r.backend_util * 100,
                 r.max_web_util * 100, r.p90_latency, paper[i++]);
+    char num[256];
+    std::snprintf(num, sizeof(num),
+                  "\"users\": %d, \"wips\": %.3f, \"backend_util\": %.4f, "
+                  "\"p90_latency\": %.4f",
+                  r.users, r.wips, r.backend_util, r.p90_latency);
+    if (!json_results.empty()) json_results += ", ";
+    json_results += "{\"mix\": \"" + std::string(tpcw::MixName(mix)) + "\", " +
+                    num +
+                    ", \"backend_dmv\": " + DmvSnapshotJson(testbed.backend()) +
+                    "}";
   }
   std::printf("\nShape check: Ordering >> Shopping > Browsing, backend ~90%% "
               "loaded in all three.\n");
+  std::printf("JSON: {\"experiment\": \"exp1_baseline_throughput\", "
+              "\"smoke\": %s, \"results\": [%s]}\n",
+              smoke ? "true" : "false", json_results.c_str());
   return 0;
 }

@@ -17,6 +17,12 @@ case "$mode" in
     cmake --preset default
     cmake --build --preset default -j "$(nproc)"
     ctest --preset default
+    # Smoke the observability layer end to end: every sys.dm_* view must
+    # execute and the core counters must have moved; then one experiment
+    # binary must emit its JSON line with an embedded DMV snapshot.
+    ./build/examples/dmv_smoke
+    exp1_out="$(./build/bench/exp1_baseline_throughput --smoke)"
+    grep -q '"backend_dmv"' <<<"$exp1_out"
     ;;
   asan)
     cmake --preset asan

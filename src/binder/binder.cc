@@ -369,6 +369,29 @@ StatusOr<LogicalPtr> Binder::BindTableRef(const TableRef& ref) {
     plan->schema = std::move(requalified);
     return plan;
   }
+  // `sys` is a reserved qualifier, not a linked server: sys.dm_* resolve to
+  // the server's virtual DMV tables and plan as ordinary local scans.
+  if (ref.server == "sys") {
+    if (virtual_resolver_ == nullptr) {
+      return Status::InvalidArgument(
+          "no DMVs available in this binding context");
+    }
+    const TableDef* def = virtual_resolver_(ref.name);
+    if (def == nullptr) {
+      return Status::NotFound("unknown DMV: sys." + ref.name);
+    }
+    auto get = std::make_unique<LogicalGet>();
+    get->table = def->name;  // full dotted name, e.g. "sys.dm_plan_cache"
+    get->alias = ref.alias.empty() ? ref.name : ref.alias;
+    get->server = "";  // DMVs are always local: never shipped remotely
+    get->def = def;
+    for (const ColumnInfo& col : def->schema.columns()) {
+      ColumnInfo copy = col;
+      copy.table = get->alias;
+      get->schema.AddColumn(std::move(copy));
+    }
+    return LogicalPtr(std::move(get));
+  }
   Catalog* catalog = catalog_;
   if (!ref.server.empty()) {
     if (resolver_ == nullptr) {

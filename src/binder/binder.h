@@ -44,11 +44,19 @@ class Binder {
   /// server's catalog; returns null for unknown servers.
   using LinkedCatalogResolver = std::function<Catalog*(const std::string&)>;
 
+  /// Resolves a table under the reserved `sys` qualifier (the DMVs) to its
+  /// virtual TableDef; returns null for unknown names. The returned def must
+  /// outlive every plan bound against it (the Server owns its DmvCatalog).
+  using VirtualTableResolver =
+      std::function<const TableDef*(const std::string&)>;
+
   /// `catalog` must outlive the binder. `user` is checked against grants.
   Binder(Catalog* catalog, std::string user,
-         LinkedCatalogResolver resolver = nullptr)
+         LinkedCatalogResolver resolver = nullptr,
+         VirtualTableResolver virtual_resolver = nullptr)
       : catalog_(catalog), user_(std::move(user)),
-        resolver_(std::move(resolver)) {}
+        resolver_(std::move(resolver)),
+        virtual_resolver_(std::move(virtual_resolver)) {}
 
   StatusOr<LogicalPtr> BindSelect(const SelectStmt& stmt);
   StatusOr<BoundInsert> BindInsert(const InsertStmt& stmt);
@@ -76,6 +84,7 @@ class Binder {
   Catalog* catalog_;
   std::string user_;
   LinkedCatalogResolver resolver_;
+  VirtualTableResolver virtual_resolver_;
 };
 
 /// True if any aggregate function appears in the (unbound) expression.

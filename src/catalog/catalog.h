@@ -48,6 +48,10 @@ struct TableDef {
   RelationKind kind = RelationKind::kBaseTable;
   std::optional<SelectProjectDef> view_def;  // set for (cached) matviews
   bool shadow = false;      // catalog-only: data lives on the backend
+  /// Rows are produced on demand by the engine (sys.dm_* DMVs) instead of
+  /// coming from storage. Virtual tables are read-only, local-only (never
+  /// shipped remotely), and have no indexes.
+  bool virtual_table = false;
   /// For shadow tables: the linked-server name of the backend that owns the
   /// data. A cache server may shadow tables from several backends (§3).
   std::string home_server;

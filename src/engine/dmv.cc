@@ -1,0 +1,229 @@
+#include "engine/dmv.h"
+
+namespace mtcache {
+
+namespace {
+
+constexpr const char* kPlanCache = "dm_plan_cache";
+constexpr const char* kQueryStats = "dm_exec_query_stats";
+constexpr const char* kRequests = "dm_exec_requests";
+constexpr const char* kMtcacheViews = "dm_mtcache_views";
+constexpr const char* kReplMetrics = "dm_repl_metrics";
+
+TableDef MakeDmv(const std::string& bare_name,
+                 std::vector<std::pair<std::string, TypeId>> columns) {
+  TableDef def;
+  def.name = "sys." + bare_name;
+  def.virtual_table = true;
+  for (auto& [col, type] : columns) {
+    ColumnInfo info;
+    info.name = col;
+    info.type = type;
+    info.table = def.name;
+    info.nullable = true;
+    def.schema.AddColumn(std::move(info));
+  }
+  // Nominal stats: DMVs are tiny; keep the optimizer from assuming zero rows.
+  def.stats.row_count = 1;
+  return def;
+}
+
+Row PlanCacheRow(const DmvSource& src) {
+  const MetricsRegistry& m = *src.metrics;
+  return Row{
+      Value::Int(m.plan_cache.hits),
+      Value::Int(m.plan_cache.misses),
+      Value::Int(m.plan_cache.uncacheable),
+      Value::Int(m.plan_cache.invalidations),
+      Value::Double(m.plan_cache.HitRate()),
+      Value::Int(src.cached_statements),
+      Value::Int(src.cached_procedure_plans),
+      Value::Int(m.optimizer.view_match_hits),
+      Value::Int(m.optimizer.view_match_misses),
+      Value::Int(m.optimizer.view_match_conditional),
+      Value::Int(m.optimizer.dynamic_plans),
+      Value::Int(m.optimizer.remote_plans),
+      Value::Int(m.chooseplan.guards_evaluated),
+      Value::Int(m.chooseplan.local_branches),
+      Value::Int(m.chooseplan.remote_branches),
+      Value::Int(m.optimizer.currency_checks_passed),
+      Value::Int(m.optimizer.currency_fallbacks),
+  };
+}
+
+std::vector<Row> QueryStatsRows(const DmvSource& src) {
+  std::vector<Row> rows;
+  for (const auto& [text, rollup] : src.metrics->rollups()) {
+    rows.push_back(Row{
+        Value::String(text),
+        Value::Int(rollup.executions),
+        Value::Int(rollup.rows_returned),
+        Value::Double(rollup.totals.local_cost),
+        Value::Double(rollup.totals.remote_cost),
+        Value::Int(rollup.totals.rows_transferred),
+        Value::Double(rollup.totals.bytes_transferred),
+        Value::Int(rollup.totals.remote_queries),
+    });
+  }
+  return rows;
+}
+
+std::vector<Row> RequestsRows(const DmvSource& src) {
+  std::vector<Row> rows;
+  for (const QueryTrace& t : src.metrics->trace()) {
+    rows.push_back(Row{
+        Value::Int(t.query_id),
+        Value::String(t.text),
+        Value::String(t.routing),
+        Value::Double(t.est_cost),
+        Value::Double(t.measured_cost),
+        Value::Double(t.stats.local_cost),
+        Value::Double(t.stats.remote_cost),
+        Value::Int(t.rows_returned),
+        Value::Int(t.stats.rows_transferred),
+        Value::Int(t.stats.remote_queries),
+        Value::String(t.plan),
+    });
+  }
+  return rows;
+}
+
+std::vector<Row> MtcacheViewsRows(const DmvSource& src) {
+  std::vector<Row> rows;
+  for (const std::string& name : src.catalog->TableNames()) {
+    const TableDef* def = src.catalog->GetTable(name);
+    if (def == nullptr || !def->view_def.has_value()) continue;
+    bool cached = def->kind == RelationKind::kCachedView;
+    // Staleness only means something for asynchronously maintained cached
+    // views with a known currency point.
+    double staleness = cached && def->freshness_time >= 0
+                           ? src.now - def->freshness_time
+                           : -1;
+    rows.push_back(Row{
+        Value::String(def->name),
+        Value::String(cached ? "cached" : "materialized"),
+        Value::String(def->view_def->base_table),
+        Value::Int(def->subscription_id),
+        Value::Double(def->freshness_time),
+        Value::Double(staleness),
+        Value::Double(def->stats.row_count),
+    });
+  }
+  return rows;
+}
+
+Row ReplMetricsRow(const DmvSource& src) {
+  ReplMetricsSnapshot r = src.metrics->repl_snapshot();
+  return Row{
+      Value::Int(r.records_scanned),
+      Value::Int(r.changes_enqueued),
+      Value::Int(r.changes_applied),
+      Value::Int(r.txns_applied),
+      Value::Int(r.txns_retried),
+      Value::Int(r.crashes_injected),
+      Value::Int(r.deliveries_dropped),
+      Value::Double(r.latency_avg),
+      Value::Double(r.latency_max),
+      Value::Int(r.latency_count),
+  };
+}
+
+}  // namespace
+
+DmvCatalog::DmvCatalog() {
+  tables_[kPlanCache] = MakeDmv(
+      kPlanCache,
+      {{"hits", TypeId::kInt64},
+       {"misses", TypeId::kInt64},
+       {"uncacheable", TypeId::kInt64},
+       {"invalidations", TypeId::kInt64},
+       {"hit_rate", TypeId::kDouble},
+       {"cached_statements", TypeId::kInt64},
+       {"cached_procedure_plans", TypeId::kInt64},
+       {"view_match_hits", TypeId::kInt64},
+       {"view_match_misses", TypeId::kInt64},
+       {"view_match_conditional", TypeId::kInt64},
+       {"dynamic_plans", TypeId::kInt64},
+       {"remote_plans", TypeId::kInt64},
+       {"chooseplan_guards", TypeId::kInt64},
+       {"chooseplan_local", TypeId::kInt64},
+       {"chooseplan_remote", TypeId::kInt64},
+       {"currency_checks_passed", TypeId::kInt64},
+       {"currency_fallbacks", TypeId::kInt64}});
+  tables_[kQueryStats] = MakeDmv(
+      kQueryStats,
+      {{"statement", TypeId::kString},
+       {"executions", TypeId::kInt64},
+       {"rows_returned", TypeId::kInt64},
+       {"local_cost", TypeId::kDouble},
+       {"remote_cost", TypeId::kDouble},
+       {"rows_transferred", TypeId::kInt64},
+       {"bytes_transferred", TypeId::kDouble},
+       {"remote_queries", TypeId::kInt64}});
+  tables_[kRequests] = MakeDmv(
+      kRequests,
+      {{"query_id", TypeId::kInt64},
+       {"statement", TypeId::kString},
+       {"routing", TypeId::kString},
+       {"est_cost", TypeId::kDouble},
+       {"measured_cost", TypeId::kDouble},
+       {"local_cost", TypeId::kDouble},
+       {"remote_cost", TypeId::kDouble},
+       {"rows_returned", TypeId::kInt64},
+       {"rows_transferred", TypeId::kInt64},
+       {"remote_queries", TypeId::kInt64},
+       {"plan", TypeId::kString}});
+  tables_[kMtcacheViews] = MakeDmv(
+      kMtcacheViews,
+      {{"name", TypeId::kString},
+       {"kind", TypeId::kString},
+       {"base_table", TypeId::kString},
+       {"subscription_id", TypeId::kInt64},
+       {"freshness_time", TypeId::kDouble},
+       {"staleness", TypeId::kDouble},
+       {"row_count", TypeId::kDouble}});
+  tables_[kReplMetrics] = MakeDmv(
+      kReplMetrics,
+      {{"records_scanned", TypeId::kInt64},
+       {"changes_enqueued", TypeId::kInt64},
+       {"changes_applied", TypeId::kInt64},
+       {"txns_applied", TypeId::kInt64},
+       {"txns_retried", TypeId::kInt64},
+       {"crashes_injected", TypeId::kInt64},
+       {"deliveries_dropped", TypeId::kInt64},
+       {"latency_avg", TypeId::kDouble},
+       {"latency_max", TypeId::kDouble},
+       {"latency_count", TypeId::kInt64}});
+}
+
+const TableDef* DmvCatalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> DmvCatalog::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+StatusOr<std::vector<Row>> DmvRows(const std::string& name,
+                                   const DmvSource& src) {
+  if (src.metrics == nullptr || src.catalog == nullptr) {
+    return Status::Internal("DMV source not wired");
+  }
+  if (name == std::string("sys.") + kPlanCache) {
+    return std::vector<Row>{PlanCacheRow(src)};
+  }
+  if (name == std::string("sys.") + kQueryStats) return QueryStatsRows(src);
+  if (name == std::string("sys.") + kRequests) return RequestsRows(src);
+  if (name == std::string("sys.") + kMtcacheViews) {
+    return MtcacheViewsRows(src);
+  }
+  if (name == std::string("sys.") + kReplMetrics) {
+    return std::vector<Row>{ReplMetricsRow(src)};
+  }
+  return Status::NotFound("unknown DMV: " + name);
+}
+
+}  // namespace mtcache

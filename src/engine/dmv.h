@@ -1,0 +1,59 @@
+#ifndef MTCACHE_ENGINE_DMV_H_
+#define MTCACHE_ENGINE_DMV_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/metrics.h"
+
+namespace mtcache {
+
+/// The dynamic-management-view catalog of one server: five read-only virtual
+/// tables, resolved by the binder under the reserved `sys` qualifier and
+/// scanned through the ordinary SeqScan path (SQL Server's sys.dm_* views,
+/// scaled to this engine's counters):
+///
+///   sys.dm_plan_cache        one wide row of plan-cache + optimizer counters
+///   sys.dm_exec_query_stats  per-statement-text ExecStats rollups
+///   sys.dm_exec_requests     the trace ring: last N executed statements
+///   sys.dm_mtcache_views     per cached/materialized view currency state
+///   sys.dm_repl_metrics      replication-pipeline counters (via provider)
+///
+/// The defs are owned per-Server so LogicalGet/PhysSeqScan TableDef pointers
+/// in cached plans stay valid for the server's lifetime.
+class DmvCatalog {
+ public:
+  DmvCatalog();
+
+  /// Resolves the bare DMV name as written after `sys.` (e.g.
+  /// "dm_plan_cache"). Returns null for unknown names.
+  const TableDef* Find(const std::string& name) const;
+
+  /// Bare names in catalog order, for snapshot helpers and smoke tests.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, TableDef> tables_;  // keyed by bare name
+};
+
+/// Everything a DMV row producer reads. All pointers are borrowed from the
+/// owning Server for the duration of one scan-open.
+struct DmvSource {
+  const MetricsRegistry* metrics = nullptr;
+  const Catalog* catalog = nullptr;  // for dm_mtcache_views
+  double now = 0;                    // staleness = now - freshness_time
+  int64_t cached_statements = 0;       // ad-hoc statement cache entries
+  int64_t cached_procedure_plans = 0;  // plans across compiled procedures
+};
+
+/// Materializes the rows of the named DMV (full dotted name, e.g.
+/// "sys.dm_plan_cache") from the source snapshot.
+StatusOr<std::vector<Row>> DmvRows(const std::string& name,
+                                   const DmvSource& src);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_ENGINE_DMV_H_

@@ -1,0 +1,17 @@
+#include "engine/metrics.h"
+
+namespace mtcache {
+
+int64_t MetricsRegistry::RecordStatement(QueryTrace trace) {
+  trace.query_id = next_query_id_++;
+  StatementRollup& rollup = rollups_[trace.text];
+  ++rollup.executions;
+  rollup.totals.Add(trace.stats);
+  rollup.rows_returned += trace.rows_returned;
+  int64_t id = trace.query_id;
+  trace_.push_back(std::move(trace));
+  while (trace_.size() > trace_capacity_) trace_.pop_front();
+  return id;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,118 @@
+#ifndef MTCACHE_ENGINE_METRICS_H_
+#define MTCACHE_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "exec/exec.h"
+#include "opt/optimizer_stats.h"
+
+namespace mtcache {
+
+/// Plan-cache effectiveness counters (exposed via sys.dm_plan_cache).
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  /// Statements that can never be cached (freshness-constrained SELECTs,
+  /// max_staleness >= 0). Counted separately so they don't skew the
+  /// hit-rate: a plan that was never eligible is not a cache miss.
+  int64_t uncacheable = 0;
+  /// Times the whole cache was flushed (DDL, stats refresh, option change).
+  int64_t invalidations = 0;
+
+  double HitRate() const {
+    return hits + misses > 0
+               ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+               : 0.0;
+  }
+};
+
+/// Mirror of repl::ReplicationMetrics for sys.dm_repl_metrics. The engine
+/// cannot include repl headers (repl depends on engine), so whoever owns the
+/// ReplicationSystem installs a provider translating into this struct.
+struct ReplMetricsSnapshot {
+  int64_t records_scanned = 0;
+  int64_t changes_enqueued = 0;
+  int64_t changes_applied = 0;
+  int64_t txns_applied = 0;
+  int64_t txns_retried = 0;
+  int64_t crashes_injected = 0;
+  int64_t deliveries_dropped = 0;
+  double latency_avg = 0;
+  double latency_max = 0;
+  int64_t latency_count = 0;
+};
+
+/// One entry of the per-query trace ring (sys.dm_exec_requests): the last N
+/// statements with their text, chosen plan shape, routing decision, and
+/// measured cost.
+struct QueryTrace {
+  int64_t query_id = 0;       // monotonically increasing per server
+  std::string text;           // statement SQL (or a procedure-body marker)
+  std::string plan;           // physical plan rendering, computed at plan time
+  std::string routing;        // "local" | "remote" | "dynamic"
+  double est_cost = 0;        // optimizer estimate for the cached plan
+  double measured_cost = 0;   // local + remote cost actually charged
+  ExecStats stats;            // full per-statement measurement
+  int64_t rows_returned = 0;
+};
+
+/// Per-statement-text rollup (sys.dm_exec_query_stats), aggregated over all
+/// executions since server start. Keyed the same way as the trace text.
+struct StatementRollup {
+  int64_t executions = 0;
+  ExecStats totals;
+  int64_t rows_returned = 0;
+};
+
+/// Central per-server counter aggregation: the single place the DMV layer
+/// reads. Sub-structs are plain public fields — the owning Server (and, via
+/// installed pointers, the optimizer and executor) bump them in place; the
+/// registry itself adds the trace ring and per-statement rollups on top.
+class MetricsRegistry {
+ public:
+  PlanCacheStats plan_cache;
+  OptimizerDecisionStats optimizer;
+  ChoosePlanRuntimeStats chooseplan;
+
+  /// Records one executed SELECT: appends to the trace ring (evicting the
+  /// oldest entry past capacity) and folds the measurement into the
+  /// per-statement rollup. Assigns and returns the query id.
+  int64_t RecordStatement(QueryTrace trace);
+
+  const std::deque<QueryTrace>& trace() const { return trace_; }
+  const std::map<std::string, StatementRollup>& rollups() const {
+    return rollups_;
+  }
+
+  /// Trace-ring sizing: how many recent statements dm_exec_requests keeps.
+  void set_trace_capacity(size_t n) {
+    trace_capacity_ = n;
+    while (trace_.size() > trace_capacity_) trace_.pop_front();
+  }
+  size_t trace_capacity() const { return trace_capacity_; }
+
+  using ReplMetricsProvider = std::function<ReplMetricsSnapshot()>;
+  /// Installed by the layer owning the ReplicationSystem (MTCache::Setup or
+  /// tests); dm_repl_metrics reads through it. Unset = all-zero row.
+  void set_repl_metrics_provider(ReplMetricsProvider provider) {
+    repl_provider_ = std::move(provider);
+  }
+  ReplMetricsSnapshot repl_snapshot() const {
+    return repl_provider_ ? repl_provider_() : ReplMetricsSnapshot{};
+  }
+
+ private:
+  std::deque<QueryTrace> trace_;
+  size_t trace_capacity_ = 32;
+  int64_t next_query_id_ = 1;
+  std::map<std::string, StatementRollup> rollups_;
+  ReplMetricsProvider repl_provider_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_ENGINE_METRICS_H_

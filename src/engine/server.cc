@@ -68,6 +68,7 @@ void Server::set_optimizer_options(const OptimizerOptions& opts) {
 void Server::InvalidatePlanCache() {
   statement_plan_cache_.clear();
   for (auto& [name, proc] : procedure_cache_) proc.plans.clear();
+  ++metrics_.plan_cache.invalidations;
 }
 
 void Server::RecomputeStats() {
@@ -84,7 +85,9 @@ Binder Server::MakeBinder() {
       return server != nullptr ? &server->db().catalog() : nullptr;
     };
   }
-  return Binder(&db_.catalog(), options_.default_user, std::move(resolver));
+  const DmvCatalog* dmvs = &dmvs_;
+  return Binder(&db_.catalog(), options_.default_user, std::move(resolver),
+                [dmvs](const std::string& name) { return dmvs->Find(name); });
 }
 
 ExecContext Server::MakeContext(Session* session, ExecStats* stats) {
@@ -94,7 +97,21 @@ ExecContext Server::MakeContext(Session* session, ExecStats* stats) {
   ctx.storage = &db_;
   ctx.remote = this;
   ctx.stats = stats;
+  ctx.virtual_tables = this;
+  ctx.branch_stats = &metrics_.chooseplan;
   return ctx;
+}
+
+StatusOr<std::vector<Row>> Server::VirtualTableRows(const std::string& name) {
+  DmvSource src;
+  src.metrics = &metrics_;
+  src.catalog = &db_.catalog();
+  src.now = db_.Now();
+  src.cached_statements = static_cast<int64_t>(statement_plan_cache_.size());
+  for (const auto& [proc_name, proc] : procedure_cache_) {
+    src.cached_procedure_plans += static_cast<int64_t>(proc.plans.size());
+  }
+  return DmvRows(name, src);
 }
 
 Server::TxnScope Server::BeginScope(Session* session) {
@@ -140,15 +157,10 @@ StatusOr<QueryResult> Server::Execute(const std::string& sql,
   if (stmts.size() == 1 && stmts[0]->kind == StmtKind::kSelect) {
     if (stats != nullptr) stats->local_cost += CostModel::kStatementOverhead;
     const auto& select = static_cast<const SelectStmt&>(*stmts[0]);
-    MT_ASSIGN_OR_RETURN(const CachedPlan* cached,
-                        PlanSelect(select, &session, nullptr, sql));
-    ExecContext ctx = MakeContext(&session, stats);
-    MT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*cached->plan, &ctx));
-    if (!select.into_vars.empty()) {
-      QueryResult empty;
-      return empty;
-    }
-    return result;
+    MT_RETURN_IF_ERROR(ExecSelect(select, &session, stats, nullptr, sql));
+    if (session.has_result) return std::move(session.result);
+    QueryResult empty;
+    return empty;
   }
   Status status = ExecuteStmtList(stmts, &session, stats, nullptr);
   if (!status.ok()) return status;
@@ -347,7 +359,7 @@ Status Server::ExecuteStmt(const Stmt& stmt, Session* session,
 
 StatusOr<const Server::CachedPlan*> Server::PlanSelect(
     const SelectStmt& stmt, Session* session, CompiledProcedure* proc,
-    const std::string& cache_key) {
+    const std::string& cache_key, CachedPlan* uncached_storage) {
   (void)session;
   // Queries with a freshness requirement (§7 extension) are not cacheable:
   // whether a cached view qualifies depends on its staleness *now*.
@@ -357,20 +369,27 @@ StatusOr<const Server::CachedPlan*> Server::PlanSelect(
   if (cacheable && proc != nullptr) {
     auto it = proc->plans.find(&stmt);
     if (it != proc->plans.end()) {
-      ++plan_cache_stats_.hits;
+      ++metrics_.plan_cache.hits;
       return &it->second;
     }
   } else if (cacheable && !cache_key.empty()) {
     auto it = statement_plan_cache_.find(cache_key);
     if (it != statement_plan_cache_.end()) {
-      ++plan_cache_stats_.hits;
+      ++metrics_.plan_cache.hits;
       return &it->second;
     }
   }
-  ++plan_cache_stats_.misses;
+  // A statement that was never eligible for the cache is not a miss — count
+  // it separately so sys.dm_plan_cache's hit-rate stays meaningful.
+  if (cacheable) {
+    ++metrics_.plan_cache.misses;
+  } else {
+    ++metrics_.plan_cache.uncacheable;
+  }
   Binder binder = MakeBinder();
   MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
   OptimizerOptions opts = options_.optimizer;
+  opts.decision_stats = &metrics_.optimizer;
   if (stmt.max_staleness >= 0) {
     opts.max_staleness = stmt.max_staleness;
     opts.current_time = db_.Now();
@@ -379,6 +398,19 @@ StatusOr<const Server::CachedPlan*> Server::PlanSelect(
   MT_ASSIGN_OR_RETURN(OptimizeResult optimized, optimizer.Optimize(*logical));
   CachedPlan cached;
   cached.schema = optimized.plan->schema;
+  cached.plan_text = PhysicalToString(*optimized.plan);
+  cached.est_cost = optimized.est_cost;
+  cached.uses_remote = optimized.uses_remote;
+  cached.dynamic_plan = optimized.dynamic_plan;
+  if (!cache_key.empty()) {
+    cached.label = cache_key;
+  } else if (proc != nullptr) {
+    cached.label = proc->def->name +
+                   (cacheable ? " stmt#" + std::to_string(proc->plans.size())
+                              : " stmt (uncached)");
+  } else {
+    cached.label = "(ad-hoc)";
+  }
   cached.plan = std::move(optimized.plan);
   if (cacheable && proc != nullptr) {
     auto [it, inserted] = proc->plans.emplace(&stmt, std::move(cached));
@@ -389,18 +421,41 @@ StatusOr<const Server::CachedPlan*> Server::PlanSelect(
         statement_plan_cache_.emplace(cache_key, std::move(cached));
     return &it->second;
   }
-  // Uncachable: stash under a rotating key so the pointer stays alive for
-  // this call only.
-  statement_plan_cache_["#uncached"] = std::move(cached);
-  return &statement_plan_cache_["#uncached"];
+  // Freshness-constrained, or no stable key (multi-statement ad-hoc script):
+  // the plan lives in caller-owned storage for this call only. (An earlier
+  // revision stashed these under a "#uncached" sentinel in the shared cache,
+  // where the next such statement clobbered the entry out from under any
+  // live pointer and the sentinel polluted cache-size accounting.)
+  *uncached_storage = std::move(cached);
+  return uncached_storage;
 }
 
 Status Server::ExecSelect(const SelectStmt& stmt, Session* session,
-                          ExecStats* stats, CompiledProcedure* proc) {
+                          ExecStats* stats, CompiledProcedure* proc,
+                          const std::string& text) {
+  CachedPlan uncached;
   MT_ASSIGN_OR_RETURN(const CachedPlan* cached,
-                      PlanSelect(stmt, session, proc, ""));
-  ExecContext ctx = MakeContext(session, stats);
-  MT_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(*cached->plan, &ctx));
+                      PlanSelect(stmt, session, proc, text, &uncached));
+  // Execute against a private ExecStats so the trace records exactly this
+  // statement's cost, then fold it into the caller's totals.
+  ExecStats stmt_stats;
+  ExecContext ctx = MakeContext(session, &stmt_stats);
+  auto result_or = ExecutePlan(*cached->plan, &ctx);
+  if (stats != nullptr) stats->Add(stmt_stats);
+  if (!result_or.ok()) return result_or.status();
+  QueryResult result = result_or.ConsumeValue();
+
+  QueryTrace trace;
+  trace.text = cached->label;
+  trace.plan = cached->plan_text;
+  trace.routing = cached->dynamic_plan ? "dynamic"
+                  : cached->uses_remote ? "remote"
+                                        : "local";
+  trace.est_cost = cached->est_cost;
+  trace.measured_cost = stmt_stats.local_cost + stmt_stats.remote_cost;
+  trace.stats = stmt_stats;
+  trace.rows_returned = static_cast<int64_t>(result.rows.size());
+  metrics_.RecordStatement(std::move(trace));
   if (!stmt.into_vars.empty()) {
     // Scalar assignment: bind the first row's values to the variables. With
     // no rows the variables keep their previous values (T-SQL semantics).

@@ -10,6 +10,8 @@
 #include "binder/binder.h"
 #include "common/sim_clock.h"
 #include "engine/database.h"
+#include "engine/dmv.h"
+#include "engine/metrics.h"
 #include "exec/exec.h"
 #include "opt/optimizer.h"
 #include "sql/parser.h"
@@ -40,16 +42,11 @@ struct ServerOptions {
   OptimizerOptions optimizer;
 };
 
-struct PlanCacheStats {
-  int64_t hits = 0;
-  int64_t misses = 0;
-};
-
 /// One SQL server instance: a database, an optimizer, an executor, a plan
 /// cache, and stored-procedure support. A backend server stands alone; an
 /// MTCache server additionally has `optimizer.backend_server` set and its
 /// database configured as a shadow (see src/mtcache).
-class Server : public RemoteExecutor {
+class Server : public RemoteExecutor, public VirtualTableProvider {
  public:
   explicit Server(ServerOptions options, SimClock* clock = nullptr,
                   LinkedServerRegistry* links = nullptr);
@@ -105,8 +102,23 @@ class Server : public RemoteExecutor {
     cached_view_drop_handler_ = std::move(handler);
   }
 
-  const PlanCacheStats& plan_cache_stats() const { return plan_cache_stats_; }
+  const PlanCacheStats& plan_cache_stats() const {
+    return metrics_.plan_cache;
+  }
   void InvalidatePlanCache();
+
+  /// Central counter aggregation: plan cache, optimizer decisions, ChoosePlan
+  /// branch selection, per-statement rollups, and the query trace ring. The
+  /// sys.dm_* DMVs render from here.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // VirtualTableProvider: materializes sys.dm_* rows at scan-open time.
+  StatusOr<std::vector<Row>> VirtualTableRows(const std::string& name) override;
+
+  /// The server's DMV catalog (names and schemas of the sys.dm_* views),
+  /// e.g. for snapshot helpers that enumerate every DMV.
+  const DmvCatalog& dmvs() const { return dmvs_; }
 
   /// Recomputes statistics on all stored tables (after bulk loads).
   void RecomputeStats();
@@ -123,6 +135,12 @@ class Server : public RemoteExecutor {
   struct CachedPlan {
     PhysicalPtr plan;
     Schema schema;
+    // Trace metadata, captured once at optimize time.
+    std::string label;      // statement text (or a procedure-body marker)
+    std::string plan_text;  // PhysicalToString rendering of the plan
+    double est_cost = 0;
+    bool uses_remote = false;
+    bool dynamic_plan = false;
   };
 
   struct CompiledProcedure {
@@ -138,8 +156,10 @@ class Server : public RemoteExecutor {
                          ExecStats* stats, CompiledProcedure* proc);
   Status ExecuteStmt(const Stmt& stmt, Session* session, ExecStats* stats,
                      CompiledProcedure* proc);
+  /// `text` is the statement's SQL when known (single-statement ad-hoc
+  /// scripts); it doubles as the plan-cache key and the trace label.
   Status ExecSelect(const SelectStmt& stmt, Session* session, ExecStats* stats,
-                    CompiledProcedure* proc);
+                    CompiledProcedure* proc, const std::string& text = "");
   Status ExecInsert(const InsertStmt& stmt, Session* session, ExecStats* stats);
   Status ExecUpdate(const UpdateStmt& stmt, Session* session, ExecStats* stats);
   Status ExecDelete(const DeleteStmt& stmt, Session* session, ExecStats* stats);
@@ -182,10 +202,17 @@ class Server : public RemoteExecutor {
                                                 Session* session,
                                                 ExecStats* stats);
 
+  /// Returns a pointer either into the plan cache or, for non-cacheable
+  /// statements (freshness-constrained), into `*uncached_storage`, which the
+  /// caller owns for the duration of the execution. Never stashes uncached
+  /// plans in the shared cache: a sentinel slot there would be clobbered by
+  /// the next uncacheable statement while this pointer is still live, and
+  /// would pollute cache-size accounting.
   StatusOr<const CachedPlan*> PlanSelect(const SelectStmt& stmt,
                                          Session* session,
                                          CompiledProcedure* proc,
-                                         const std::string& cache_key);
+                                         const std::string& cache_key,
+                                         CachedPlan* uncached_storage);
 
   StatusOr<CompiledProcedure*> CompileProcedure(const std::string& name);
 
@@ -211,7 +238,8 @@ class Server : public RemoteExecutor {
 
   std::map<std::string, CachedPlan> statement_plan_cache_;
   std::map<std::string, CompiledProcedure> procedure_cache_;
-  PlanCacheStats plan_cache_stats_;
+  MetricsRegistry metrics_;
+  DmvCatalog dmvs_;
 };
 
 /// Renders DML ASTs back to SQL text for forwarding to the backend.

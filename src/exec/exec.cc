@@ -54,6 +54,18 @@ class SeqScanExec : public ExecNode {
   explicit SeqScanExec(const PhysSeqScan& op) : op_(op) {}
 
   Status Open(ExecContext* ctx) override {
+    if (op_.def->virtual_table) {
+      // Virtual tables (sys.dm_* DMVs) are materialized at Open time so a
+      // query sees one consistent snapshot of the counters.
+      if (ctx->virtual_tables == nullptr) {
+        return Status::Internal("no virtual-table provider for " +
+                                op_.def->name);
+      }
+      MT_ASSIGN_OR_RETURN(virtual_rows_,
+                          ctx->virtual_tables->VirtualTableRows(op_.def->name));
+      pos_ = 0;
+      return Status::Ok();
+    }
     table_ = ctx->storage != nullptr
                  ? ctx->storage->GetStoredTable(op_.def->name)
                  : nullptr;
@@ -65,6 +77,12 @@ class SeqScanExec : public ExecNode {
   }
 
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
+    if (op_.def->virtual_table) {
+      if (pos_ >= virtual_rows_.size()) return false;
+      ctx->Charge(CostModel::kSeqRowCost);
+      *row = virtual_rows_[pos_++];
+      return true;
+    }
     while (rid_ < table_->heap().slot_count()) {
       RowId rid = rid_++;
       ctx->Charge(CostModel::kSeqRowCost);
@@ -75,10 +93,14 @@ class SeqScanExec : public ExecNode {
     return false;
   }
 
+  void Close() override { virtual_rows_.clear(); }
+
  private:
   const PhysSeqScan& op_;
   StoredTable* table_ = nullptr;
   RowId rid_ = 0;
+  std::vector<Row> virtual_rows_;
+  size_t pos_ = 0;
 };
 
 class IndexSeekExec : public ExecNode {
@@ -167,10 +189,22 @@ class IndexSeekExec : public ExecNode {
   bool empty_ = false;
 };
 
+// True if the subtree contains a RemoteQuery: classifies a startup-guarded
+// ChoosePlan branch as the local or the remote alternative.
+bool SubtreeShipsRemote(const PhysicalOp& op) {
+  if (op.kind == PhysicalKind::kRemoteQuery) return true;
+  for (const auto& child : op.children) {
+    if (SubtreeShipsRemote(*child)) return true;
+  }
+  return false;
+}
+
 class FilterExec : public ExecNode {
  public:
   FilterExec(const PhysFilter& op, std::unique_ptr<ExecNode> child)
-      : op_(op), child_(std::move(child)) {}
+      : op_(op), child_(std::move(child)),
+        guards_remote_(op.startup && !op.children.empty() &&
+                       SubtreeShipsRemote(*op.children[0])) {}
 
   Status Open(ExecContext* ctx) override {
     if (op_.startup) {
@@ -179,6 +213,16 @@ class FilterExec : public ExecNode {
       MT_ASSIGN_OR_RETURN(bool pass,
                           EvalPredicate(*op_.predicate, nullptr, ctx->Eval()));
       ctx->Charge(CostModel::kFilterRowCost);
+      if (ctx->branch_stats != nullptr) {
+        ++ctx->branch_stats->guards_evaluated;
+        if (pass) {
+          if (guards_remote_) {
+            ++ctx->branch_stats->remote_branches;
+          } else {
+            ++ctx->branch_stats->local_branches;
+          }
+        }
+      }
       open_ = pass;
       if (!open_) return Status::Ok();
       return child_->Open(ctx);
@@ -208,6 +252,9 @@ class FilterExec : public ExecNode {
  private:
   const PhysFilter& op_;
   std::unique_ptr<ExecNode> child_;
+  // True when this startup guard protects a branch that ships work to a
+  // remote server (ChoosePlan's "remote" arm); computed once at build time.
+  bool guards_remote_;
   bool open_ = false;
 };
 

@@ -46,6 +46,25 @@ class StorageProvider {
   virtual StoredTable* GetStoredTable(const std::string& name) = 0;
 };
 
+/// Materializes rows for virtual tables (TableDef::virtual_table, the
+/// sys.dm_* DMVs). Implemented by engine::Server, which renders its
+/// MetricsRegistry at scan-open time.
+class VirtualTableProvider {
+ public:
+  virtual ~VirtualTableProvider() = default;
+  virtual StatusOr<std::vector<Row>> VirtualTableRows(
+      const std::string& name) = 0;
+};
+
+/// Runtime counters for dynamic-plan branch selection, bumped by FilterExec
+/// when a startup guard is evaluated. The engine points ExecContext at the
+/// copy inside its MetricsRegistry.
+struct ChoosePlanRuntimeStats {
+  int64_t guards_evaluated = 0;   // startup predicates evaluated at Open
+  int64_t local_branches = 0;     // guard passed, branch runs locally
+  int64_t remote_branches = 0;    // guard passed, branch ships a RemoteQuery
+};
+
 /// Executes shipped SQL on a linked server. Implemented by engine::Server.
 /// Implementations must charge the callee's work to `stats->remote_cost` and
 /// account the returned volume in bytes/rows_transferred.
@@ -64,6 +83,8 @@ struct ExecContext {
   StorageProvider* storage = nullptr;
   RemoteExecutor* remote = nullptr;
   ExecStats* stats = nullptr;
+  VirtualTableProvider* virtual_tables = nullptr;
+  ChoosePlanRuntimeStats* branch_stats = nullptr;  // may be null
 
   void Charge(double cost) const {
     if (stats != nullptr) stats->local_cost += cost;

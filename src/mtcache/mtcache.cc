@@ -34,6 +34,25 @@ StatusOr<std::unique_ptr<MTCache>> MTCache::Setup(Server* cache,
         return raw->DropCachedView(view);
       });
   repl->AddPublisher(backend);
+  // Surface the replication pipeline's counters through the cache server's
+  // sys.dm_repl_metrics DMV. Translated into the engine-layer snapshot
+  // struct because the engine cannot depend on repl headers.
+  ReplicationSystem* repl_raw = repl;
+  cache->metrics().set_repl_metrics_provider([repl_raw]() {
+    const ReplicationMetrics& m = repl_raw->metrics();
+    ReplMetricsSnapshot snap;
+    snap.records_scanned = m.records_scanned;
+    snap.changes_enqueued = m.changes_enqueued;
+    snap.changes_applied = m.changes_applied;
+    snap.txns_applied = m.txns_applied;
+    snap.txns_retried = m.txns_retried;
+    snap.crashes_injected = m.crashes_injected;
+    snap.deliveries_dropped = m.deliveries_dropped;
+    snap.latency_avg = m.AvgLatency();
+    snap.latency_max = m.latency_max;
+    snap.latency_count = m.latency_count;
+    return snap;
+  });
   return mtcache;
 }
 

@@ -1142,7 +1142,7 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
       std::vector<ViewMatch> matches =
           MatchViews(*info.get, info.conjuncts, used_cols, *catalog_,
                      options_.allow_mixed_results, options_.max_staleness,
-                     options_.current_time);
+                     options_.current_time, options_.decision_stats);
       const ViewMatch* chosen = nullptr;
       double best_cost = kInf;
       if (options_.cost_based_routing) {
@@ -1165,6 +1165,20 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
       if (chosen != nullptr) {
         *slot = CloneLogical(*chosen->substitute);
       }
+      if (options_.decision_stats != nullptr && info.get->def != nullptr &&
+          !info.get->def->virtual_table &&
+          !catalog_->ViewsOver(info.get->table).empty()) {
+        bool has_conditional = false;
+        for (const ViewMatch& m : matches) {
+          if (m.guard != nullptr) has_conditional = true;
+        }
+        if (chosen != nullptr) {
+          ++options_.decision_stats->view_match_hits;
+        } else if (!has_conditional || !options_.enable_dynamic_plans) {
+          // Conditional-only sites are decided in pass 2 (counted there).
+          ++options_.decision_stats->view_match_misses;
+        }
+      }
     }
 
     // Pass 2: first conditional (parameterized) match becomes a dynamic plan.
@@ -1178,6 +1192,8 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
         auto it = used.find(info.get);
         std::set<int> used_cols =
             it != used.end() ? it->second : AllColumns(info.get->schema);
+        // No decision_stats here: pass 1 already counted this site's
+        // currency checks, and conditional usage is counted below.
         std::vector<ViewMatch> matches =
             MatchViews(*info.get, info.conjuncts, used_cols, *catalog_,
                        options_.allow_mixed_results, options_.max_staleness,
@@ -1191,6 +1207,9 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
         }
         if (conditional == nullptr) continue;
         ++alternatives;
+        if (options_.decision_stats != nullptr) {
+          ++options_.decision_stats->view_match_conditional;
+        }
 
         // Candidate A: ChoosePlan. With pull-up, the ChoosePlan floats to
         // the root so each branch is optimized independently and the remote
@@ -1280,6 +1299,10 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
       out.dynamic_plan = true;
     }
     for (const auto& child : op->children) stack.push_back(child.get());
+  }
+  if (options_.decision_stats != nullptr) {
+    if (out.uses_remote) ++options_.decision_stats->remote_plans;
+    if (out.dynamic_plan) ++options_.decision_stats->dynamic_plans;
   }
 
   out.optimize_micros = std::chrono::duration_cast<std::chrono::microseconds>(

@@ -7,6 +7,7 @@
 #include "catalog/catalog.h"
 #include "common/status.h"
 #include "opt/logical.h"
+#include "opt/optimizer_stats.h"
 #include "opt/physical.h"
 
 namespace mtcache {
@@ -42,6 +43,9 @@ struct OptimizerOptions {
   /// for view matching; the backend always qualifies. -1 = any staleness.
   double max_staleness = -1;
   double current_time = 0;
+  /// When non-null, Optimize() records its view-matching / routing decisions
+  /// here (the engine points this at its MetricsRegistry). Not owned.
+  OptimizerDecisionStats* decision_stats = nullptr;
 };
 
 struct OptimizeResult {

@@ -167,7 +167,8 @@ LogicalPtr BuildSubstitute(const LogicalGet& get, const TableDef& view,
 std::vector<ViewMatch> MatchViews(
     const LogicalGet& get, const std::vector<const BoundExpr*>& conjuncts,
     const std::set<int>& used_columns, const Catalog& catalog,
-    bool allow_mixed_results, double max_staleness, double now) {
+    bool allow_mixed_results, double max_staleness, double now,
+    OptimizerDecisionStats* stats) {
   std::vector<ViewMatch> matches;
   if (get.def == nullptr || !get.server.empty()) return matches;
 
@@ -194,8 +195,10 @@ std::vector<ViewMatch> MatchViews(
     if (max_staleness >= 0 && view->kind == RelationKind::kCachedView) {
       if (view->freshness_time < 0 ||
           now - view->freshness_time > max_staleness) {
+        if (stats != nullptr) ++stats->currency_fallbacks;
         continue;
       }
+      if (stats != nullptr) ++stats->currency_checks_passed;
     }
     const SelectProjectDef& def = *view->view_def;
 

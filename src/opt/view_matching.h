@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "opt/logical.h"
+#include "opt/optimizer_stats.h"
 
 namespace mtcache {
 
@@ -50,13 +51,16 @@ struct ViewMatch {
 /// `max_staleness`/`now`: when max_staleness >= 0, cached views whose
 /// freshness_time lags `now` by more than that are skipped (§7 freshness
 /// extension); regular matviews are synchronously maintained and always
-/// qualify.
+/// qualify. `stats` (optional) receives currency pass/fallback counts; the
+/// optimizer passes it on the first matching pass only, so each currency
+/// decision is counted once per optimization.
 std::vector<ViewMatch> MatchViews(const LogicalGet& get,
                                   const std::vector<const BoundExpr*>& conjuncts,
                                   const std::set<int>& used_columns,
                                   const Catalog& catalog,
                                   bool allow_mixed_results,
-                                  double max_staleness = -1, double now = 0);
+                                  double max_staleness = -1, double now = 0,
+                                  OptimizerDecisionStats* stats = nullptr);
 
 }  // namespace mtcache
 

@@ -65,6 +65,17 @@ StatusOr<std::vector<Token>> Tokenize(const std::string& sql) {
         ++i;
         while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
       }
+      // Scientific notation: [eE][+-]?digits. Only consumed when a digit
+      // actually follows, so `1e` stays (int, ident) as before.
+      if (i < n && (sql[i] == 'e' || sql[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (sql[exp] == '+' || sql[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(sql[exp]))) {
+          is_float = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+        }
+      }
       std::string text = sql.substr(start, i - start);
       if (is_float) {
         tok.type = TokenType::kFloat;

@@ -1,5 +1,7 @@
 #include "types/value.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 namespace mtcache {
@@ -102,7 +104,23 @@ std::string Value::ToSqlLiteral() const {
     case TypeId::kInt64:
       return std::to_string(i_);
     case TypeId::kDouble: {
-      std::string s = std::to_string(d_);
+      // Shortest decimal rendering that parses back to exactly this double.
+      // std::to_string's fixed 6 digits truncates (0.1234567891 -> 0.123457),
+      // which corrupts literals round-tripped through unparse -> parse for
+      // remote forwarding. %.17g always round-trips; prefer fewer digits
+      // when they already do.
+      char buf[40];
+      for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, d_);
+        if (std::strtod(buf, nullptr) == d_) break;
+      }
+      std::string s = buf;
+      // Keep the literal float-typed on re-parse: "1e+30" and "0.5" lex as
+      // floats, a bare "4" would lex as an int.
+      if (s.find_first_of(".eE") == std::string::npos &&
+          s.find_first_of("0123456789") != std::string::npos) {
+        s += ".0";
+      }
       return s;
     }
     case TypeId::kString: {

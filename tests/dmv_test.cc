@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "check/consistency.h"
+#include "mtcache/mtcache.h"
+#include "repl/fault.h"
+
+namespace mtcache {
+namespace {
+
+// Column lookup by name, so the tests don't depend on DMV column order.
+int ColumnOrdinal(const QueryResult& r, const std::string& col) {
+  for (int i = 0; i < r.schema.num_columns(); ++i) {
+    if (r.schema.column(i).name == col) return i;
+  }
+  ADD_FAILURE() << "no column " << col;
+  return -1;
+}
+
+int64_t IntCol(const QueryResult& r, const std::string& col, size_t row = 0) {
+  int ord = ColumnOrdinal(r, col);
+  return ord < 0 ? -1 : r.rows[row][ord].AsInt();
+}
+
+double DoubleCol(const QueryResult& r, const std::string& col,
+                 size_t row = 0) {
+  int ord = ColumnOrdinal(r, col);
+  return ord < 0 ? -1 : r.rows[row][ord].AsDouble();
+}
+
+std::string StringCol(const QueryResult& r, const std::string& col,
+                      size_t row = 0) {
+  int ord = ColumnOrdinal(r, col);
+  return ord < 0 ? "" : r.rows[row][ord].AsString();
+}
+
+// ---------------------------------------------------------------------------
+// Standalone server: plan-cache counters, trace ring, rollups.
+// ---------------------------------------------------------------------------
+
+class DmvTest : public ::testing::Test {
+ protected:
+  DmvTest() : server_(ServerOptions{"s", "dbo", {}}) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(server_
+                    .ExecuteScript(
+                        "CREATE TABLE t (id INT PRIMARY KEY, x FLOAT)")
+                    .ok());
+    for (int i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(server_
+                      .ExecuteScript("INSERT INTO t VALUES (" +
+                                     std::to_string(i) + ", " +
+                                     std::to_string(i * 0.5) + ")")
+                      .ok());
+    }
+  }
+
+  Server server_;
+};
+
+TEST_F(DmvTest, PlanCacheCountersVisibleThroughDmv) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server_.Execute("SELECT id FROM t WHERE x > 1.0").ok());
+  }
+  // 1 miss + 2 hits so far; the DMV query below is itself a miss, counted
+  // before its scan materializes the row.
+  auto r = server_.Execute("SELECT * FROM sys.dm_plan_cache");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(IntCol(*r, "hits"), 2);
+  EXPECT_EQ(IntCol(*r, "misses"), 2);
+  EXPECT_EQ(IntCol(*r, "uncacheable"), 0);
+  EXPECT_DOUBLE_EQ(DoubleCol(*r, "hit_rate"), 0.5);
+  EXPECT_EQ(IntCol(*r, "cached_statements"), 2);
+}
+
+TEST_F(DmvTest, InvalidationCountedAndRepansAfterFlush) {
+  ASSERT_TRUE(server_.Execute("SELECT COUNT(*) FROM t").ok());
+  ASSERT_TRUE(server_.Execute("SELECT COUNT(*) FROM t").ok());
+  EXPECT_EQ(server_.plan_cache_stats().hits, 1);
+  int64_t invalidations_before = server_.plan_cache_stats().invalidations;
+  server_.InvalidatePlanCache();
+  EXPECT_EQ(server_.plan_cache_stats().invalidations,
+            invalidations_before + 1);
+  // Replanned from scratch: a miss, not a hit.
+  ASSERT_TRUE(server_.Execute("SELECT COUNT(*) FROM t").ok());
+  EXPECT_EQ(server_.plan_cache_stats().hits, 1);
+  EXPECT_EQ(server_.plan_cache_stats().misses, 2);
+  auto r = server_.Execute("SELECT invalidations FROM sys.dm_plan_cache");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(IntCol(*r, "invalidations"), invalidations_before + 1);
+}
+
+TEST_F(DmvTest, FreshnessQueriesCountedUncacheableNotMissed) {
+  ASSERT_TRUE(
+      server_.Execute("SELECT id FROM t WHERE id <= 5 WITH MAXSTALENESS 10")
+          .ok());
+  EXPECT_EQ(server_.plan_cache_stats().uncacheable, 1);
+  // A statement that was never cache-eligible must not dilute the hit-rate.
+  EXPECT_EQ(server_.plan_cache_stats().misses, 0);
+  EXPECT_EQ(server_.plan_cache_stats().hits, 0);
+}
+
+TEST_F(DmvTest, UncachedPlansDoNotPolluteTheSharedCache) {
+  // Regression: uncacheable (freshness-constrained) plans used to be stashed
+  // under a "#uncached" sentinel key in the statement cache, where the next
+  // such statement clobbered the entry while a pointer to it was live, and
+  // the sentinel inflated cache-size accounting.
+  ASSERT_TRUE(
+      server_.Execute("SELECT id FROM t WHERE id <= 5 WITH MAXSTALENESS 10")
+          .ok());
+  auto r = server_.Execute("SELECT cached_statements FROM sys.dm_plan_cache");
+  ASSERT_TRUE(r.ok());
+  // Only the DMV query itself was cached; with the sentinel bug this reads 2.
+  EXPECT_EQ(IntCol(*r, "cached_statements"), 1);
+}
+
+TEST_F(DmvTest, TraceRingKeepsLastNStatements) {
+  server_.metrics().set_trace_capacity(4);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(
+        server_.Execute("SELECT id FROM t WHERE id = " + std::to_string(i))
+            .ok());
+  }
+  ASSERT_EQ(server_.metrics().trace().size(), 4u);
+  EXPECT_EQ(server_.metrics().trace().back().text,
+            "SELECT id FROM t WHERE id = 6");
+  EXPECT_EQ(server_.metrics().trace().front().text,
+            "SELECT id FROM t WHERE id = 3");
+  // Ids stay monotonic across eviction.
+  EXPECT_EQ(server_.metrics().trace().back().query_id,
+            server_.metrics().trace().front().query_id + 3);
+  // The ring is queryable: at scan-open the COUNT query is not yet recorded.
+  auto r = server_.Execute("SELECT COUNT(*) FROM sys.dm_exec_requests");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), 4);
+}
+
+TEST_F(DmvTest, QueryStatsRollUpRepeatedExecutions) {
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(server_.Execute("SELECT COUNT(*) FROM t").ok());
+  }
+  auto r = server_.Execute(
+      "SELECT executions, rows_returned, local_cost FROM "
+      "sys.dm_exec_query_stats WHERE statement = 'SELECT COUNT(*) FROM t'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(IntCol(*r, "executions"), 3);
+  EXPECT_EQ(IntCol(*r, "rows_returned"), 3);
+  EXPECT_GT(DoubleCol(*r, "local_cost"), 0);
+}
+
+TEST_F(DmvTest, TraceRecordsLocalRoutingAndMeasuredCost) {
+  ASSERT_TRUE(server_.Execute("SELECT COUNT(*) FROM t").ok());
+  const QueryTrace& t = server_.metrics().trace().back();
+  EXPECT_EQ(t.routing, "local");
+  EXPECT_GT(t.measured_cost, 0);
+  EXPECT_DOUBLE_EQ(t.stats.remote_cost, 0);
+  EXPECT_EQ(t.rows_returned, 1);
+  EXPECT_NE(t.plan.find("SeqScan"), std::string::npos) << t.plan;
+}
+
+TEST_F(DmvTest, DmvsAreReadOnlyAndUnknownNamesRejected) {
+  EXPECT_FALSE(server_.Execute("SELECT * FROM sys.dm_no_such_view").ok());
+  EXPECT_FALSE(
+      server_.Execute("INSERT INTO sys.dm_plan_cache VALUES (1)").ok());
+}
+
+// ---------------------------------------------------------------------------
+// MTCache deployment: optimizer decisions, ChoosePlan branches, currency
+// checks, view currency, and replication metrics.
+// ---------------------------------------------------------------------------
+
+class DmvMtcacheTest : public ::testing::Test {
+ protected:
+  DmvMtcacheTest()
+      : backend_(ServerOptions{"backend", "dbo", {}}, &clock_, &links_),
+        cache_(ServerOptions{"cache1", "dbo", {}}, &clock_, &links_),
+        repl_(&clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(backend_
+                    .ExecuteScript(
+                        "CREATE TABLE customer (cid INT PRIMARY KEY, "
+                        "cname VARCHAR(30), cbalance FLOAT)")
+                    .ok());
+    for (int i = 1; i <= 300; ++i) {
+      ASSERT_TRUE(backend_
+                      .ExecuteScript("INSERT INTO customer VALUES (" +
+                                     std::to_string(i) + ", 'name" +
+                                     std::to_string(i) + "', 0.0)")
+                      .ok());
+    }
+    backend_.RecomputeStats();
+    auto setup = MTCache::Setup(&cache_, &backend_, &repl_);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+    mtcache_ = setup.ConsumeValue();
+    ASSERT_TRUE(mtcache_
+                    ->CreateCachedView("cust200",
+                                       "SELECT cid, cname FROM customer "
+                                       "WHERE cid <= 200")
+                    .ok());
+  }
+
+  SimClock clock_;
+  LinkedServerRegistry links_;
+  Server backend_;
+  Server cache_;
+  ReplicationSystem repl_;
+  std::unique_ptr<MTCache> mtcache_;
+};
+
+TEST_F(DmvMtcacheTest, ViewMatchHitsAndMissesCounted) {
+  ASSERT_TRUE(
+      cache_.Execute("SELECT cid, cname FROM customer WHERE cid = 77").ok());
+  EXPECT_EQ(cache_.metrics().optimizer.view_match_hits, 1);
+  EXPECT_EQ(cache_.metrics().optimizer.view_match_misses, 0);
+  EXPECT_EQ(cache_.metrics().trace().back().routing, "local");
+
+  // Outside the view region with a constant predicate: decided statically,
+  // a definite miss that ships the query to the backend.
+  ASSERT_TRUE(
+      cache_.Execute("SELECT cid, cname FROM customer WHERE cid = 250").ok());
+  EXPECT_EQ(cache_.metrics().optimizer.view_match_misses, 1);
+  EXPECT_EQ(cache_.metrics().optimizer.remote_plans, 1);
+  EXPECT_EQ(cache_.metrics().trace().back().routing, "remote");
+  EXPECT_GT(cache_.metrics().trace().back().stats.remote_cost, 0);
+}
+
+TEST_F(DmvMtcacheTest, ChoosePlanBranchCountersFollowTheParameter) {
+  const std::string sql =
+      "SELECT cid, cname FROM customer WHERE cid <= @cid";
+  ParamMap params;
+  params["@cid"] = Value::Int(100);
+  ASSERT_TRUE(cache_.Execute(sql, params, nullptr).ok());
+  EXPECT_GE(cache_.metrics().optimizer.view_match_conditional, 1);
+  EXPECT_EQ(cache_.metrics().optimizer.dynamic_plans, 1);
+  EXPECT_EQ(cache_.metrics().chooseplan.local_branches, 1);
+  EXPECT_EQ(cache_.metrics().chooseplan.remote_branches, 0);
+  EXPECT_GE(cache_.metrics().chooseplan.guards_evaluated, 2);
+  EXPECT_EQ(cache_.metrics().trace().back().routing, "dynamic");
+
+  // Same cached plan, parameter outside the view: the remote arm runs.
+  params["@cid"] = Value::Int(250);
+  ASSERT_TRUE(cache_.Execute(sql, params, nullptr).ok());
+  EXPECT_EQ(cache_.metrics().chooseplan.local_branches, 1);
+  EXPECT_EQ(cache_.metrics().chooseplan.remote_branches, 1);
+  EXPECT_GT(cache_.plan_cache_stats().hits, 0) << "plan was reused";
+
+  auto r = cache_.Execute(
+      "SELECT chooseplan_local, chooseplan_remote, dynamic_plans "
+      "FROM sys.dm_plan_cache");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(IntCol(*r, "chooseplan_local"), 1);
+  EXPECT_EQ(IntCol(*r, "chooseplan_remote"), 1);
+  EXPECT_EQ(IntCol(*r, "dynamic_plans"), 1);
+}
+
+TEST_F(DmvMtcacheTest, CurrencyCheckCountersGateOnStaleness) {
+  // The snapshot just ran, so the view is current for any positive bound.
+  ExecStats fresh_stats;
+  ASSERT_TRUE(cache_
+                  .Execute(
+                      "SELECT cid, cname FROM customer WHERE cid = 50 "
+                      "WITH MAXSTALENESS 100",
+                      {}, &fresh_stats)
+                  .ok());
+  EXPECT_GE(cache_.metrics().optimizer.currency_checks_passed, 1);
+  EXPECT_EQ(cache_.metrics().optimizer.currency_fallbacks, 0);
+  EXPECT_DOUBLE_EQ(fresh_stats.remote_cost, 0);
+
+  // Let the view age past the bound with no replication catching it up.
+  clock_.Advance(200);
+  ExecStats stale_stats;
+  ASSERT_TRUE(cache_
+                  .Execute(
+                      "SELECT cid, cname FROM customer WHERE cid = 50 "
+                      "WITH MAXSTALENESS 100",
+                      {}, &stale_stats)
+                  .ok());
+  EXPECT_GE(cache_.metrics().optimizer.currency_fallbacks, 1);
+  EXPECT_GT(stale_stats.remote_cost, 0) << "stale view must be bypassed";
+  EXPECT_EQ(cache_.plan_cache_stats().uncacheable, 2);
+}
+
+TEST_F(DmvMtcacheTest, MtcacheViewsDmvReportsCurrency) {
+  clock_.Advance(5);
+  auto r = cache_.Execute("SELECT * FROM sys.dm_mtcache_views");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(StringCol(*r, "name"), "cust200");
+  EXPECT_EQ(StringCol(*r, "kind"), "cached");
+  EXPECT_EQ(StringCol(*r, "base_table"), "customer");
+  EXPECT_GE(IntCol(*r, "subscription_id"), 0);
+  EXPECT_DOUBLE_EQ(DoubleCol(*r, "staleness"), 5.0);
+  // The backend has no cached views, and its DMVs are independent.
+  auto b = backend_.Execute("SELECT COUNT(*) FROM sys.dm_mtcache_views");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DmvMtcacheTest, ReplMetricsDmvAfterFaultedRun) {
+  FaultPlan plan;
+  plan.AddRule(FaultSite::kApplyChange, FaultAction::kCrash, 1);
+  repl_.set_fault_plan(&plan);
+  ASSERT_TRUE(
+      backend_
+          .ExecuteScript(
+              "UPDATE customer SET cname = 'renamed' WHERE cid <= 5")
+          .ok());
+  clock_.Advance(0.25);
+  for (int round = 0; round < 4; ++round) {
+    Status s = repl_.RunOnce(nullptr, nullptr);
+    ASSERT_TRUE(s.ok() || s.code() == StatusCode::kUnavailable)
+        << s.ToString();
+    clock_.Advance(repl_.backoff_max());
+  }
+  ASSERT_TRUE(DrainPipeline(&repl_, &clock_).ok());
+  ConsistencyReport report =
+      ConsistencyChecker(&repl_, &backend_, &cache_).Check();
+  ASSERT_TRUE(report.ok()) << report.ToString();
+
+  auto r = cache_.Execute("SELECT * FROM sys.dm_repl_metrics");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(IntCol(*r, "crashes_injected"), 1);
+  EXPECT_GE(IntCol(*r, "txns_retried"), 1);
+  EXPECT_GE(IntCol(*r, "changes_applied"), 5);
+  EXPECT_GE(IntCol(*r, "txns_applied"), 1);
+  EXPECT_GE(IntCol(*r, "records_scanned"), 5);
+  EXPECT_GT(DoubleCol(*r, "latency_avg"), 0);
+  // Without an installed provider (standalone backend) the row is all-zero.
+  auto b = backend_.Execute("SELECT txns_applied FROM sys.dm_repl_metrics");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(IntCol(*b, "txns_applied"), 0);
+}
+
+TEST_F(DmvMtcacheTest, DmvQueriesAreLocalOnlyDespiteBackendLink) {
+  // A DMV scan on the cache server must never ship to the backend, even
+  // though every shadow table around it does.
+  ExecStats stats;
+  auto r = cache_.Execute("SELECT * FROM sys.dm_plan_cache", {}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(stats.remote_cost, 0);
+  EXPECT_EQ(cache_.metrics().trace().back().routing, "local");
+}
+
+}  // namespace
+}  // namespace mtcache

@@ -48,6 +48,37 @@ TEST(LexerTest, UnterminatedStringRejected) {
   EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
 }
 
+TEST(LexerTest, FloatExponentForms) {
+  auto toks = Tokenize("1e-7 2.5E+3 3e2 1e");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[0].float_val, 1e-7);
+  EXPECT_EQ((*toks)[1].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[1].float_val, 2500.0);
+  EXPECT_EQ((*toks)[2].type, TokenType::kFloat);
+  EXPECT_DOUBLE_EQ((*toks)[2].float_val, 300.0);
+  // No digit after the 'e': lexes as (int, identifier), same as before
+  // exponents were supported.
+  EXPECT_EQ((*toks)[3].type, TokenType::kInt);
+  EXPECT_EQ((*toks)[4].type, TokenType::kIdent);
+}
+
+TEST(ParserTest, DoubleLiteralUnparseParseRoundTrip) {
+  const double cases[] = {0.1234567891, 1e-7, 1e30, 4.0, -2.5e-9};
+  for (double d : cases) {
+    std::string sql = "SELECT " + Value::Double(d).ToSqlLiteral() + " FROM t";
+    auto sel = MustSelect(sql);
+    ASSERT_NE(sel, nullptr);
+    const Expr* e = sel->items[0].expr.get();
+    bool negated = e->kind == ExprKind::kUnary;
+    if (negated) e = static_cast<const UnaryExpr*>(e)->operand.get();
+    ASSERT_EQ(e->kind, ExprKind::kLiteral) << sql;
+    const Value& v = static_cast<const LiteralExpr*>(e)->value;
+    ASSERT_EQ(v.type(), TypeId::kDouble) << sql;
+    EXPECT_EQ(negated ? -v.AsDouble() : v.AsDouble(), d) << sql;
+  }
+}
+
 TEST(ParserTest, SimpleSelect) {
   auto sel = MustSelect("SELECT cid, cname FROM customer WHERE cid <= 1000");
   ASSERT_NE(sel, nullptr);

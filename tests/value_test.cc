@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "types/schema.h"
 #include "types/value.h"
 
@@ -24,6 +26,29 @@ TEST(ValueTest, StringQuotingInLiteral) {
   Value v = Value::String("it's");
   EXPECT_EQ(v.ToSqlLiteral(), "'it''s'");
   EXPECT_EQ(v.ToString(), "it's");
+}
+
+TEST(ValueTest, DoubleLiteralRoundTripsExactly) {
+  // std::to_string's fixed 6 fractional digits used to truncate these, so a
+  // literal forwarded through unparse -> parse changed value.
+  const double cases[] = {0.1234567891,      1e-7,    0.1, 1.0 / 3.0, 1e30,
+                          123456.789012345, -2.5e-9, 4.0, -0.0078125};
+  for (double d : cases) {
+    std::string lit = Value::Double(d).ToSqlLiteral();
+    EXPECT_EQ(std::strtod(lit.c_str(), nullptr), d) << lit;
+  }
+}
+
+TEST(ValueTest, DoubleLiteralStaysFloatTyped) {
+  // A whole-number double must keep a '.' or exponent, or re-parsing the
+  // literal silently turns it into an int.
+  EXPECT_EQ(Value::Double(4).ToSqlLiteral(), "4.0");
+  EXPECT_EQ(Value::Double(-4).ToSqlLiteral(), "-4.0");
+}
+
+TEST(ValueTest, DoubleLiteralPrefersShortestExactForm) {
+  EXPECT_EQ(Value::Double(0.1).ToSqlLiteral(), "0.1");
+  EXPECT_EQ(Value::Double(2.5).ToSqlLiteral(), "2.5");
 }
 
 TEST(ValueTest, CompareInts) {
