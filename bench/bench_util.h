@@ -4,7 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/random.h"
 #include "sim/testbed.h"
 
 namespace mtcache {
@@ -97,6 +100,23 @@ inline std::string DmvSnapshotJson(Server* server) {
   }
   out += "}";
   return out;
+}
+
+/// Runs `fn(thread_index, rng)` on `n_threads` concurrent threads and joins
+/// them all. Each thread gets its own deterministically seeded Random (a
+/// shared RNG would serialize the threads and hide scaling), so a run is
+/// reproducible for any fixed thread count.
+template <typename Fn>
+inline void ThreadedLoop(int n_threads, Fn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n_threads);
+  for (int t = 0; t < n_threads; ++t) {
+    threads.emplace_back([t, &fn] {
+      Random rng(0x9E3779B9ULL * (t + 1) + 1);
+      fn(t, rng);
+    });
+  }
+  for (std::thread& th : threads) th.join();
 }
 
 /// The standard experiment scale (laptop-sized stand-in for the paper's

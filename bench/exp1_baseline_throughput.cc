@@ -6,7 +6,14 @@
 // `--smoke` runs one short fixed-load measurement per mix instead of the
 // full throughput search, so CI can exercise the whole harness (including
 // the DMV snapshot) in seconds.
+//
+// `--threads N` switches to a closed-loop wall-clock mode: real worker
+// threads issue point queries against one backend Server (each loop
+// iteration is execute + a fixed think time, the TPC-W EB model), measured
+// for 1, 2, 4, ... up to N threads. Aggregate QPS per thread count goes
+// into the JSON line, demonstrating multi-session scaling of the engine.
 
+#include <chrono>
 #include <cstring>
 #include <string>
 
@@ -15,11 +22,96 @@
 using namespace mtcache;
 using namespace mtcache::bench;
 
+namespace {
+
+constexpr int kThreadBenchItems = 1000;
+
+/// Closed loop: each of `n_threads` sessions alternates one point SELECT
+/// with a fixed think time, `ops_per_thread` times. Returns aggregate
+/// queries per wall-clock second.
+double RunClosedLoop(Server* server, int n_threads, int ops_per_thread,
+                     double think_seconds) {
+  auto start = std::chrono::steady_clock::now();
+  ThreadedLoop(n_threads, [&](int /*thread_index*/, Random& rng) {
+    auto think = std::chrono::duration<double>(think_seconds);
+    for (int i = 0; i < ops_per_thread; ++i) {
+      int64_t id = rng.Uniform(1, kThreadBenchItems);
+      auto r = server->Execute(
+          "SELECT i_title, i_cost FROM item WHERE i_id = " +
+          std::to_string(id));
+      Check(r.status(), "closed-loop query");
+      if (r->rows.size() != 1) {
+        std::fprintf(stderr, "FATAL: point query returned %zu rows\n",
+                     r->rows.size());
+        std::exit(1);
+      }
+      std::this_thread::sleep_for(think);
+    }
+  });
+  std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(n_threads) * ops_per_thread / elapsed.count();
+}
+
+int RunThreadScaling(int max_threads, bool smoke) {
+  Banner("E1-threads", "Closed-loop multi-session scaling",
+         "engine concurrency; QPS vs. worker threads, think-time EB model");
+  SimClock clock;
+  Server server(ServerOptions{"backend", "dbo", {}}, &clock);
+  Check(server.ExecuteScript("CREATE TABLE item (i_id INT PRIMARY KEY, "
+                             "i_title VARCHAR(30), i_cost FLOAT)"),
+        "create item");
+  for (int i = 1; i <= kThreadBenchItems; ++i) {
+    Check(server.ExecuteScript("INSERT INTO item VALUES (" +
+                               std::to_string(i) + ", 'title" +
+                               std::to_string(i) + "', " +
+                               std::to_string(i * 1.5) + ")"),
+          "load item");
+  }
+  server.RecomputeStats();
+
+  const int ops = smoke ? 40 : 400;
+  const double think = 0.002;  // 2ms of EB think time per interaction
+  // Warm the plan cache and the allocator before timing anything.
+  RunClosedLoop(&server, 1, 10, 0);
+
+  std::printf("%-8s %12s %10s\n", "Threads", "QPS", "Speedup");
+  std::string json_results;
+  double qps_1 = 0, qps_max = 0;
+  for (int n = 1; n <= max_threads; n *= 2) {
+    double qps = RunClosedLoop(&server, n, ops, think);
+    if (n == 1) qps_1 = qps;
+    qps_max = qps;
+    std::printf("%-8d %12.1f %9.2fx\n", n, qps, qps / qps_1);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"threads\": %d, \"qps\": %.3f, \"speedup\": %.4f}", n,
+                  qps, qps / qps_1);
+    if (!json_results.empty()) json_results += ", ";
+    json_results += buf;
+  }
+  std::printf("\nShape check: aggregate QPS grows with threads until the "
+              "CPU saturates.\n");
+  std::printf("JSON: {\"experiment\": \"exp1_baseline_throughput\", "
+              "\"mode\": \"threads\", \"smoke\": %s, \"max_threads\": %d, "
+              "\"aggregate_speedup\": %.4f, \"results\": [%s]}\n",
+              smoke ? "true" : "false", max_threads, qps_max / qps_1,
+              json_results.c_str());
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool smoke = false;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[i + 1]);
+    }
   }
+  if (threads > 0) return RunThreadScaling(threads, smoke);
 
   Banner("E1", "Baseline throughput without caching",
          "section 6.2.1 table (no cache: 50 / 82 / 283 WIPS)");

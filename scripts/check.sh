@@ -4,10 +4,14 @@
 #   scripts/check.sh          # configure + build + full test suite
 #   scripts/check.sh asan     # same, under -fsanitize=address,undefined,
 #                             # running the fault-injection suites
+#   scripts/check.sh tsan     # -fsanitize=thread, running the concurrency
+#                             # suites (any data race fails the run)
 #
 # The asan mode exercises the crash/restart paths with memory checking on:
 # replication_fault_test (incl. the 200-seed randomized schedules),
-# mtcache_resync_test, and property_test.
+# mtcache_resync_test, and property_test. The tsan mode runs every test
+# labeled `concurrency` (ctest -L) — the multi-session engine tests and the
+# DMV-read-during-execution tests — plus the threaded bench smoke.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,21 +23,37 @@ case "$mode" in
     ctest --preset default
     # Smoke the observability layer end to end: every sys.dm_* view must
     # execute and the core counters must have moved; then one experiment
-    # binary must emit its JSON line with an embedded DMV snapshot.
+    # binary must emit its JSON line with an embedded DMV snapshot, and the
+    # closed-loop threaded mode must emit its scaling JSON.
     ./build/examples/dmv_smoke
     exp1_out="$(./build/bench/exp1_baseline_throughput --smoke)"
     grep -q '"backend_dmv"' <<<"$exp1_out"
+    exp1_threads_out="$(./build/bench/exp1_baseline_throughput --threads 8 --smoke)"
+    grep -q '"aggregate_speedup"' <<<"$exp1_threads_out"
     ;;
   asan)
     cmake --preset asan
     cmake --build --preset asan -j "$(nproc)" --target \
       replication_fault_test mtcache_resync_test property_test \
-      replication_test mtcache_test
+      replication_test mtcache_test dmv_smoke
     (cd build-asan && ctest --output-on-failure -j "$(nproc)" -R \
       'ReplicationFault|MtcacheResync|ReplicationConvergence|Replication(Test|Metrics)|MTCache')
+    # The DMV walk under ASan: catches lifetime bugs in the virtual-table
+    # row materialization that the plain build would miss.
+    ./build-asan/examples/dmv_smoke
+    ;;
+  tsan)
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)" --target \
+      concurrency_test dmv_test exp1_baseline_throughput
+    # halt_on_error: the first data race fails the suite instead of
+    # scrolling past; second_deadlock_stack helps debug lock inversions.
+    export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+    (cd build-tsan && ctest --output-on-failure -L concurrency)
+    ./build-tsan/bench/exp1_baseline_throughput --threads 4 --smoke
     ;;
   *)
-    echo "usage: $0 [default|asan]" >&2
+    echo "usage: $0 [default|asan|tsan]" >&2
     exit 2
     ;;
 esac

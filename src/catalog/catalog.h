@@ -10,6 +10,7 @@
 
 #include "catalog/statistics.h"
 #include "catalog/view_def.h"
+#include "common/atomics.h"
 #include "common/status.h"
 #include "types/schema.h"
 
@@ -58,8 +59,10 @@ struct TableDef {
   int64_t subscription_id = -1;  // for cached views: repl subscription
   /// For cached views: the publisher time this replica is known to be
   /// current as of (maintained by the replication agents). Queries with
-  /// freshness requirements compare against this. -1 = unknown.
-  double freshness_time = -1;
+  /// freshness requirements compare against this. -1 = unknown. Relaxed
+  /// atomic: the replication driver advances it while concurrent sessions
+  /// read it for currency checks and dm_mtcache_views.
+  RelaxedDouble freshness_time = -1;
   // Grants: user -> privileges. An empty map means "granted to public".
   std::map<std::string, std::set<Privilege>> grants;
 

@@ -1,6 +1,8 @@
 #include "check/consistency.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 
 namespace mtcache {
 
@@ -28,9 +30,11 @@ StatusOr<std::vector<std::string>> BackendRows(Server* server,
 
 /// Sorted multiset of rendered rows read straight off the target's heap —
 /// deliberately below the query layer, so the diff sees exactly what
-/// replication wrote, with no optimizer/routing in the way.
+/// replication wrote, with no optimizer/routing in the way. Taken under a
+/// shared table latch so the checker can run while agents are applying.
 std::vector<std::string> StoredRows(StoredTable* table) {
   std::vector<std::string> rows;
+  std::shared_lock<std::shared_mutex> latch(table->latch());
   const HeapTable& heap = table->heap();
   for (RowId rid = 0; rid < heap.slot_count(); ++rid) {
     if (heap.IsLive(rid)) rows.push_back(RenderRow(heap.Get(rid)));

@@ -1,0 +1,110 @@
+#ifndef MTCACHE_COMMON_ATOMICS_H_
+#define MTCACHE_COMMON_ATOMICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mtcache {
+
+/// Copyable relaxed atomic counter. Metric structs are bumped from many
+/// threads (sessions, the replication agent, the optimizer) and read by DMV
+/// scans; each field is independently atomic — a multi-field snapshot is only
+/// point-in-time per field, which is exactly the SQL Server sys.dm_* contract.
+/// Copying reads the source relaxed; the copy itself is a fresh atomic, so
+/// struct-level copies (snapshots, resets) keep working.
+class RelaxedInt64 {
+ public:
+  RelaxedInt64(int64_t v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  RelaxedInt64(const RelaxedInt64& other) : v_(other.load()) {}
+  RelaxedInt64& operator=(const RelaxedInt64& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedInt64& operator=(int64_t v) {
+    store(v);
+    return *this;
+  }
+
+  int64_t load() const { return v_.load(std::memory_order_relaxed); }
+  void store(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  operator int64_t() const { return load(); }
+
+  RelaxedInt64& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  int64_t operator++(int) { return v_.fetch_add(1, std::memory_order_relaxed); }
+  RelaxedInt64& operator+=(int64_t d) {
+    v_.fetch_add(d, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<int64_t> v_;
+};
+
+/// Copyable relaxed atomic double, for accumulated sums/maxima that cross
+/// threads (replication latency, cached-view freshness timestamps).
+class RelaxedDouble {
+ public:
+  RelaxedDouble(double v = 0) : v_(v) {}  // NOLINT(runtime/explicit)
+  RelaxedDouble(const RelaxedDouble& other) : v_(other.load()) {}
+  RelaxedDouble& operator=(const RelaxedDouble& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedDouble& operator=(double v) {
+    store(v);
+    return *this;
+  }
+
+  double load() const { return v_.load(std::memory_order_relaxed); }
+  void store(double v) { v_.store(v, std::memory_order_relaxed); }
+  operator double() const { return load(); }
+
+  RelaxedDouble& operator+=(double d) {
+    double cur = load();
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+    return *this;
+  }
+  /// Atomically raises the stored value to at least `candidate`.
+  void UpdateMax(double candidate) {
+    double cur = load();
+    while (cur < candidate &&
+           !v_.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> v_;
+};
+
+/// Minimal test-and-set spinlock for tiny critical sections (the metrics
+/// trace ring): a handful of instructions under contention measured in
+/// nanoseconds, where a std::mutex park/unpark would dominate. Use with
+/// std::lock_guard.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__cpp_lib_atomic_flag_test)
+      while (flag_.test(std::memory_order_relaxed)) {
+      }
+#endif
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_ATOMICS_H_

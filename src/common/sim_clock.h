@@ -1,28 +1,43 @@
 #ifndef MTCACHE_COMMON_SIM_CLOCK_H_
 #define MTCACHE_COMMON_SIM_CLOCK_H_
 
+#include <atomic>
+
 namespace mtcache {
 
 /// Simulated wall clock, in seconds. The replication agents and the
 /// multi-server testbed never read real time; they are driven by whoever owns
 /// the clock (a test, an example, or the discrete-event simulator). This
 /// keeps every experiment deterministic.
+///
+/// The value is a relaxed atomic so a driver thread can advance time while
+/// session threads read Now() (GETDATE(), staleness checks) without a data
+/// race. Advancement is still logically single-writer in every harness; the
+/// CAS loops below only make torn reads impossible, they are not a
+/// synchronization point.
 class SimClock {
  public:
   SimClock() : now_(0.0) {}
 
-  double Now() const { return now_; }
+  double Now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Moves time forward. Going backwards is a programming error and ignored.
   void AdvanceTo(double t) {
-    if (t > now_) now_ = t;
+    double cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
+    }
   }
   void Advance(double dt) {
-    if (dt > 0) now_ += dt;
+    if (dt <= 0) return;
+    double cur = now_.load(std::memory_order_relaxed);
+    while (!now_.compare_exchange_weak(cur, cur + dt,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  double now_;
+  std::atomic<double> now_;
 };
 
 }  // namespace mtcache

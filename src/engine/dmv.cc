@@ -53,7 +53,7 @@ Row PlanCacheRow(const DmvSource& src) {
 
 std::vector<Row> QueryStatsRows(const DmvSource& src) {
   std::vector<Row> rows;
-  for (const auto& [text, rollup] : src.metrics->rollups()) {
+  for (const auto& [text, rollup] : src.metrics->SnapshotRollups()) {
     rows.push_back(Row{
         Value::String(text),
         Value::Int(rollup.executions),
@@ -70,7 +70,7 @@ std::vector<Row> QueryStatsRows(const DmvSource& src) {
 
 std::vector<Row> RequestsRows(const DmvSource& src) {
   std::vector<Row> rows;
-  for (const QueryTrace& t : src.metrics->trace()) {
+  for (const QueryTrace& t : src.metrics->SnapshotTrace()) {
     rows.push_back(Row{
         Value::Int(t.query_id),
         Value::String(t.text),

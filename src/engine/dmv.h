@@ -24,6 +24,10 @@ namespace mtcache {
 ///
 /// The defs are owned per-Server so LogicalGet/PhysSeqScan TableDef pointers
 /// in cached plans stay valid for the server's lifetime.
+///
+/// Concurrency: the catalog is fully populated in the constructor and never
+/// mutated afterwards — read-only after setup, so concurrent sessions may
+/// call Find()/Names() without any locking.
 class DmvCatalog {
  public:
   DmvCatalog();

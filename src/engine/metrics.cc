@@ -3,6 +3,7 @@
 namespace mtcache {
 
 int64_t MetricsRegistry::RecordStatement(QueryTrace trace) {
+  std::lock_guard<SpinLock> guard(ring_lock_);
   trace.query_id = next_query_id_++;
   StatementRollup& rollup = rollups_[trace.text];
   ++rollup.executions;

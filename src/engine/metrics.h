@@ -5,28 +5,31 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 
+#include "common/atomics.h"
 #include "exec/exec.h"
 #include "opt/optimizer_stats.h"
 
 namespace mtcache {
 
 /// Plan-cache effectiveness counters (exposed via sys.dm_plan_cache).
+/// Relaxed atomics: concurrent sessions bump them lock-free on the hit path.
 struct PlanCacheStats {
-  int64_t hits = 0;
-  int64_t misses = 0;
+  RelaxedInt64 hits = 0;
+  RelaxedInt64 misses = 0;
   /// Statements that can never be cached (freshness-constrained SELECTs,
   /// max_staleness >= 0). Counted separately so they don't skew the
   /// hit-rate: a plan that was never eligible is not a cache miss.
-  int64_t uncacheable = 0;
+  RelaxedInt64 uncacheable = 0;
   /// Times the whole cache was flushed (DDL, stats refresh, option change).
-  int64_t invalidations = 0;
+  RelaxedInt64 invalidations = 0;
 
   double HitRate() const {
-    return hits + misses > 0
-               ? static_cast<double>(hits) / static_cast<double>(hits + misses)
-               : 0.0;
+    int64_t h = hits, m = misses;
+    return h + m > 0 ? static_cast<double>(h) / static_cast<double>(h + m)
+                     : 0.0;
   }
 };
 
@@ -69,9 +72,11 @@ struct StatementRollup {
 };
 
 /// Central per-server counter aggregation: the single place the DMV layer
-/// reads. Sub-structs are plain public fields — the owning Server (and, via
-/// installed pointers, the optimizer and executor) bump them in place; the
-/// registry itself adds the trace ring and per-statement rollups on top.
+/// reads. Sub-structs are plain public fields of relaxed atomics — the owning
+/// Server (and, via installed pointers, the optimizer and executor) bump them
+/// in place from any session thread; the registry itself adds the trace ring
+/// and per-statement rollups on top, guarded by a small spinlock (appends are
+/// a deque push + map fold, far cheaper than a mutex park).
 class MetricsRegistry {
  public:
   PlanCacheStats plan_cache;
@@ -80,16 +85,32 @@ class MetricsRegistry {
 
   /// Records one executed SELECT: appends to the trace ring (evicting the
   /// oldest entry past capacity) and folds the measurement into the
-  /// per-statement rollup. Assigns and returns the query id.
+  /// per-statement rollup. Assigns and returns the query id. Thread-safe.
   int64_t RecordStatement(QueryTrace trace);
 
+  /// Direct references into the ring/rollups — only valid while no other
+  /// thread is executing statements (single-threaded tests, post-run
+  /// inspection). Concurrent readers must use the Snapshot* copies.
   const std::deque<QueryTrace>& trace() const { return trace_; }
   const std::map<std::string, StatementRollup>& rollups() const {
     return rollups_;
   }
 
+  /// Consistent copies taken under the ring lock: every row in the snapshot
+  /// is a fully-recorded statement, never a torn entry. The DMV layer
+  /// (sys.dm_exec_requests / dm_exec_query_stats) renders from these.
+  std::deque<QueryTrace> SnapshotTrace() const {
+    std::lock_guard<SpinLock> guard(ring_lock_);
+    return trace_;
+  }
+  std::map<std::string, StatementRollup> SnapshotRollups() const {
+    std::lock_guard<SpinLock> guard(ring_lock_);
+    return rollups_;
+  }
+
   /// Trace-ring sizing: how many recent statements dm_exec_requests keeps.
   void set_trace_capacity(size_t n) {
+    std::lock_guard<SpinLock> guard(ring_lock_);
     trace_capacity_ = n;
     while (trace_.size() > trace_capacity_) trace_.pop_front();
   }
@@ -106,6 +127,7 @@ class MetricsRegistry {
   }
 
  private:
+  mutable SpinLock ring_lock_;  // guards trace_, rollups_, next_query_id_
   std::deque<QueryTrace> trace_;
   size_t trace_capacity_ = 32;
   int64_t next_query_id_ = 1;

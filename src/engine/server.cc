@@ -1,5 +1,8 @@
 #include "engine/server.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/string_util.h"
 #include "engine/view_util.h"
 #include "opt/cost_model.h"
@@ -61,14 +64,34 @@ Server::Server(ServerOptions options, SimClock* clock,
       db_(options_.name + "_db", clock) {}
 
 void Server::set_optimizer_options(const OptimizerOptions& opts) {
-  options_.optimizer = opts;
-  InvalidatePlanCache();
+  {
+    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    options_.optimizer = opts;
+    // Epoch-based invalidation: drop the cache's references and bump the
+    // generation. Sessions executing a dropped plan hold their own
+    // shared_ptr, so nothing is destroyed out from under them, and a session
+    // that is mid-optimization against the old options discards its insert
+    // when it sees the generation moved.
+    statement_plan_cache_.clear();
+    for (auto& [name, proc] : procedure_cache_) proc.plans.clear();
+    ++plan_cache_generation_;
+  }
+  ++metrics_.plan_cache.invalidations;
 }
 
 void Server::InvalidatePlanCache() {
-  statement_plan_cache_.clear();
-  for (auto& [name, proc] : procedure_cache_) proc.plans.clear();
+  {
+    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    statement_plan_cache_.clear();
+    for (auto& [name, proc] : procedure_cache_) proc.plans.clear();
+    ++plan_cache_generation_;
+  }
   ++metrics_.plan_cache.invalidations;
+}
+
+OptimizerOptions Server::SnapshotOptimizerOptions() const {
+  std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+  return options_.optimizer;
 }
 
 void Server::RecomputeStats() {
@@ -107,9 +130,12 @@ StatusOr<std::vector<Row>> Server::VirtualTableRows(const std::string& name) {
   src.metrics = &metrics_;
   src.catalog = &db_.catalog();
   src.now = db_.Now();
-  src.cached_statements = static_cast<int64_t>(statement_plan_cache_.size());
-  for (const auto& [proc_name, proc] : procedure_cache_) {
-    src.cached_procedure_plans += static_cast<int64_t>(proc.plans.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+    src.cached_statements = static_cast<int64_t>(statement_plan_cache_.size());
+    for (const auto& [proc_name, proc] : procedure_cache_) {
+      src.cached_procedure_plans += static_cast<int64_t>(proc.plans.size());
+    }
   }
   return DmvRows(name, src);
 }
@@ -150,23 +176,30 @@ StatusOr<QueryResult> Server::Execute(const std::string& sql) {
 StatusOr<QueryResult> Server::Execute(const std::string& sql,
                                       const ParamMap& params,
                                       ExecStats* stats) {
-  MT_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, ParseSqlScript(sql));
   Session session;
   session.vars = params;
+  return ExecuteOnSession(&session, sql, stats);
+}
+
+StatusOr<QueryResult> Server::ExecuteOnSession(Session* session,
+                                               const std::string& sql,
+                                               ExecStats* stats) {
+  MT_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, ParseSqlScript(sql));
+  session->ResetForBatch();
   // Single-SELECT scripts use the statement plan cache keyed by SQL text.
   if (stmts.size() == 1 && stmts[0]->kind == StmtKind::kSelect) {
     if (stats != nullptr) stats->local_cost += CostModel::kStatementOverhead;
     const auto& select = static_cast<const SelectStmt&>(*stmts[0]);
-    MT_RETURN_IF_ERROR(ExecSelect(select, &session, stats, nullptr, sql));
-    if (session.has_result) return std::move(session.result);
+    MT_RETURN_IF_ERROR(ExecSelect(select, session, stats, nullptr, sql));
+    if (session->has_result) return std::move(session->result);
     QueryResult empty;
     return empty;
   }
-  Status status = ExecuteStmtList(stmts, &session, stats, nullptr);
+  Status status = ExecuteStmtList(stmts, session, stats, nullptr);
   if (!status.ok()) return status;
-  if (session.has_result) return std::move(session.result);
+  if (session->has_result) return std::move(session->result);
   QueryResult result;
-  result.rows_affected = session.result.rows_affected;
+  result.rows_affected = session->result.rows_affected;
   return result;
 }
 
@@ -201,7 +234,7 @@ StatusOr<OptimizeResult> Server::Explain(const std::string& sql) {
   const auto& select = static_cast<const SelectStmt&>(*stmt);
   Binder binder = MakeBinder();
   MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(select));
-  OptimizerOptions opts = options_.optimizer;
+  OptimizerOptions opts = SnapshotOptimizerOptions();
   if (select.max_staleness >= 0) {
     opts.max_staleness = select.max_staleness;
     opts.current_time = db_.Now();
@@ -357,26 +390,34 @@ Status Server::ExecuteStmt(const Stmt& stmt, Session* session,
 // SELECT
 // ---------------------------------------------------------------------------
 
-StatusOr<const Server::CachedPlan*> Server::PlanSelect(
+StatusOr<Server::CachedPlanPtr> Server::PlanSelect(
     const SelectStmt& stmt, Session* session, CompiledProcedure* proc,
-    const std::string& cache_key, CachedPlan* uncached_storage) {
+    const std::string& cache_key) {
   (void)session;
   // Queries with a freshness requirement (§7 extension) are not cacheable:
   // whether a cached view qualifies depends on its staleness *now*.
   bool cacheable = stmt.max_staleness < 0;
   // Procedure-body statements cache by statement identity; ad-hoc statements
-  // by SQL text.
-  if (cacheable && proc != nullptr) {
-    auto it = proc->plans.find(&stmt);
-    if (it != proc->plans.end()) {
-      ++metrics_.plan_cache.hits;
-      return &it->second;
-    }
-  } else if (cacheable && !cache_key.empty()) {
-    auto it = statement_plan_cache_.find(cache_key);
-    if (it != statement_plan_cache_.end()) {
-      ++metrics_.plan_cache.hits;
-      return &it->second;
+  // by SQL text. Lookup runs under the shared lock; many sessions hit the
+  // cache in parallel.
+  int64_t generation_at_lookup = 0;
+  size_t proc_plan_count = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+    generation_at_lookup = plan_cache_generation_;
+    if (cacheable && proc != nullptr) {
+      proc_plan_count = proc->plans.size();
+      auto it = proc->plans.find(&stmt);
+      if (it != proc->plans.end()) {
+        ++metrics_.plan_cache.hits;
+        return it->second;
+      }
+    } else if (cacheable && !cache_key.empty()) {
+      auto it = statement_plan_cache_.find(cache_key);
+      if (it != statement_plan_cache_.end()) {
+        ++metrics_.plan_cache.hits;
+        return it->second;
+      }
     }
   }
   // A statement that was never eligible for the cache is not a miss — count
@@ -386,9 +427,11 @@ StatusOr<const Server::CachedPlan*> Server::PlanSelect(
   } else {
     ++metrics_.plan_cache.uncacheable;
   }
+  // Optimize with no lock held: optimization is the expensive part, and
+  // serializing it behind the cache lock would defeat concurrent sessions.
   Binder binder = MakeBinder();
   MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
-  OptimizerOptions opts = options_.optimizer;
+  OptimizerOptions opts = SnapshotOptimizerOptions();
   opts.decision_stats = &metrics_.optimizer;
   if (stmt.max_staleness >= 0) {
     opts.max_staleness = stmt.max_staleness;
@@ -406,36 +449,42 @@ StatusOr<const Server::CachedPlan*> Server::PlanSelect(
     cached.label = cache_key;
   } else if (proc != nullptr) {
     cached.label = proc->def->name +
-                   (cacheable ? " stmt#" + std::to_string(proc->plans.size())
+                   (cacheable ? " stmt#" + std::to_string(proc_plan_count)
                               : " stmt (uncached)");
   } else {
     cached.label = "(ad-hoc)";
   }
   cached.plan = std::move(optimized.plan);
-  if (cacheable && proc != nullptr) {
-    auto [it, inserted] = proc->plans.emplace(&stmt, std::move(cached));
-    return &it->second;
-  }
-  if (cacheable && !cache_key.empty()) {
-    auto [it, inserted] =
-        statement_plan_cache_.emplace(cache_key, std::move(cached));
-    return &it->second;
+  CachedPlanPtr plan = std::make_shared<const CachedPlan>(std::move(cached));
+  if (cacheable && (proc != nullptr || !cache_key.empty())) {
+    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    if (plan_cache_generation_ != generation_at_lookup) {
+      // An invalidation ran while we were optimizing: our plan may reflect
+      // pre-invalidation statistics or options. Execute it this once, but
+      // do not publish it.
+      return plan;
+    }
+    if (proc != nullptr) {
+      // Insert-or-discard: if a concurrent session published first, use its
+      // plan and drop ours.
+      auto [it, inserted] = proc->plans.emplace(&stmt, plan);
+      return it->second;
+    }
+    auto [it, inserted] = statement_plan_cache_.emplace(cache_key, plan);
+    return it->second;
   }
   // Freshness-constrained, or no stable key (multi-statement ad-hoc script):
-  // the plan lives in caller-owned storage for this call only. (An earlier
-  // revision stashed these under a "#uncached" sentinel in the shared cache,
-  // where the next such statement clobbered the entry out from under any
-  // live pointer and the sentinel polluted cache-size accounting.)
-  *uncached_storage = std::move(cached);
-  return uncached_storage;
+  // the plan belongs to this execution alone and is never published.
+  return plan;
 }
 
 Status Server::ExecSelect(const SelectStmt& stmt, Session* session,
                           ExecStats* stats, CompiledProcedure* proc,
                           const std::string& text) {
-  CachedPlan uncached;
-  MT_ASSIGN_OR_RETURN(const CachedPlan* cached,
-                      PlanSelect(stmt, session, proc, text, &uncached));
+  // The shared_ptr keeps the plan alive for the whole execution even if the
+  // cache is invalidated (and cleared) concurrently.
+  MT_ASSIGN_OR_RETURN(CachedPlanPtr cached,
+                      PlanSelect(stmt, session, proc, text));
   // Execute against a private ExecStats so the trace records exactly this
   // statement's cost, then fold it into the caller's totals.
   ExecStats stmt_stats;
@@ -491,7 +540,11 @@ StatusOr<RowId> Server::InsertRow(StoredTable* table, const Row& row,
 
 Status Server::DeleteRow(StoredTable* table, RowId rid, Transaction* txn,
                          ExecStats* stats) {
-  Row before = table->heap().Get(rid);
+  Row before;
+  {
+    std::shared_lock<std::shared_mutex> latch(table->latch());
+    before = table->heap().Get(rid);
+  }
   MT_RETURN_IF_ERROR(table->Delete(rid, txn));
   if (stats != nullptr) {
     stats->local_cost +=
@@ -504,7 +557,11 @@ Status Server::DeleteRow(StoredTable* table, RowId rid, Transaction* txn,
 
 Status Server::UpdateRow(StoredTable* table, RowId rid, const Row& new_row,
                          Transaction* txn, ExecStats* stats) {
-  Row before = table->heap().Get(rid);
+  Row before;
+  {
+    std::shared_lock<std::shared_mutex> latch(table->latch());
+    before = table->heap().Get(rid);
+  }
   MT_RETURN_IF_ERROR(table->Update(rid, new_row, txn));
   if (stats != nullptr) {
     stats->local_cost +=
@@ -518,8 +575,10 @@ Status Server::UpdateRow(StoredTable* table, RowId rid, const Row& new_row,
 namespace {
 
 // Locates a view row whose primary-key columns equal `key` (values in view
-// pk order). Returns -1 when absent.
+// pk order). Returns -1 when absent. Holds the view's shared latch for the
+// lookup; the caller's subsequent mutation re-latches exclusively.
 RowId FindViewRowByKey(StoredTable* view, const Row& key) {
+  std::shared_lock<std::shared_mutex> latch(view->latch());
   if (!view->def().indexes.empty() && view->def().indexes[0].unique) {
     for (auto it = view->index(0).SeekGe(key);
          it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
@@ -648,6 +707,10 @@ StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
     return EvalPredicate(*where, &row, eval);
   };
 
+  // The scan below holds the table's shared latch while it copies out the
+  // matching rids (predicate evaluation is pure, so holding it is safe);
+  // the caller mutates the rows afterwards through the self-latching
+  // StoredTable entry points.
   if (best_index >= 0) {
     const TableDef& def = table->def();
     Row prefix_key;
@@ -665,6 +728,7 @@ StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
       }
     }
     if (stats != nullptr) stats->local_cost += CostModel::kIndexSeekCost;
+    std::shared_lock<std::shared_mutex> latch(table->latch());
     for (auto it = table->index(best_index).SeekGe(prefix_key);
          it.Valid() && BPlusTree::ComparePrefix(it.key(), prefix_key) == 0;
          it.Next()) {
@@ -676,6 +740,7 @@ StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
     return out;
   }
 
+  std::shared_lock<std::shared_mutex> latch(table->latch());
   for (RowId rid = 0; rid < table->heap().slot_count(); ++rid) {
     if (!table->heap().IsLive(rid)) continue;
     if (stats != nullptr) stats->local_cost += CostModel::kSeqRowCost;
@@ -687,9 +752,9 @@ StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
 
 Status Server::ForwardDml(const TableDef& table, const std::string& sql,
                           Session* session, ExecStats* stats) {
-  const std::string& backend = !table.home_server.empty()
-                                   ? table.home_server
-                                   : options_.optimizer.backend_server;
+  const std::string backend = !table.home_server.empty()
+                                  ? table.home_server
+                                  : SnapshotOptimizerOptions().backend_server;
   if (backend.empty() || links_ == nullptr) {
     return Status::InvalidArgument(
         "cannot forward DML: no backend server linked");
@@ -745,7 +810,7 @@ Status Server::ExecInsert(const InsertStmt& stmt, Session* session,
   };
 
   if (bound.select != nullptr) {
-    Optimizer optimizer(&db_.catalog(), options_.optimizer);
+    Optimizer optimizer(&db_.catalog(), SnapshotOptimizerOptions());
     auto optimized = optimizer.Optimize(*bound.select);
     if (!optimized.ok()) {
       status = optimized.status();
@@ -810,7 +875,11 @@ Status Server::ExecUpdate(const UpdateStmt& stmt, Session* session,
     status = rows.status();
   } else {
     for (RowId rid : *rows) {
-      Row old_row = table->heap().Get(rid);
+      Row old_row;
+      {
+        std::shared_lock<std::shared_mutex> latch(table->latch());
+        old_row = table->heap().Get(rid);
+      }
       Row new_row = old_row;
       for (const auto& [ord, expr] : bound.sets) {
         auto v = EvalBound(*expr, &old_row, ctx.Eval());
@@ -968,15 +1037,24 @@ Status Server::ExecCreateView(const CreateViewStmt& stmt, Session* session,
     }
     TxnScope scope = BeginScope(session);
     Status status = Status::Ok();
-    for (RowId rid = 0; rid < base_table->heap().slot_count(); ++rid) {
-      if (!base_table->heap().IsLive(rid)) continue;
-      const Row& row = base_table->heap().Get(rid);
-      if (stats != nullptr) stats->local_cost += CostModel::kSeqRowCost;
-      if (!def.RowMatches(pred_cols, row)) continue;
-      Row projected;
-      for (const std::string& col : def.columns) {
-        projected.push_back(row[base->ColumnOrdinal(col)]);
+    // Copy the matching base rows under the base table's shared latch first,
+    // so we never hold it while taking the view table's exclusive latch.
+    std::vector<Row> projected_rows;
+    {
+      std::shared_lock<std::shared_mutex> latch(base_table->latch());
+      for (RowId rid = 0; rid < base_table->heap().slot_count(); ++rid) {
+        if (!base_table->heap().IsLive(rid)) continue;
+        const Row& row = base_table->heap().Get(rid);
+        if (stats != nullptr) stats->local_cost += CostModel::kSeqRowCost;
+        if (!def.RowMatches(pred_cols, row)) continue;
+        Row projected;
+        for (const std::string& col : def.columns) {
+          projected.push_back(row[base->ColumnOrdinal(col)]);
+        }
+        projected_rows.push_back(std::move(projected));
       }
+    }
+    for (const Row& projected : projected_rows) {
       auto inserted = view_table->Insert(projected, scope.txn);
       if (!inserted.ok()) {
         status = inserted.status();
@@ -1000,7 +1078,10 @@ Status Server::ExecCreateProcedure(const CreateProcedureStmt& stmt) {
   def.params = stmt.params;
   def.body_source = stmt.body_source;
   MT_RETURN_IF_ERROR(db_.catalog().CreateProcedure(std::move(def)));
-  procedure_cache_.erase(stmt.name);
+  {
+    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    procedure_cache_.erase(stmt.name);
+  }
   return Status::Ok();
 }
 
@@ -1054,7 +1135,10 @@ Status Server::ExecDrop(const DropStmt& stmt) {
     }
     case DropKind::kProcedure: {
       MT_RETURN_IF_ERROR(db_.catalog().DropProcedure(stmt.name));
-      procedure_cache_.erase(stmt.name);
+      {
+        std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+        procedure_cache_.erase(stmt.name);
+      }
       break;
     }
   }
@@ -1102,7 +1186,7 @@ Status Server::ExecGrant(const GrantStmt& stmt) {
 Status Server::ExecExplain(const ExplainStmt& stmt, Session* session) {
   Binder binder = MakeBinder();
   MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(*stmt.select));
-  OptimizerOptions opts = options_.optimizer;
+  OptimizerOptions opts = SnapshotOptimizerOptions();
   if (stmt.select->max_staleness >= 0) {
     opts.max_staleness = stmt.select->max_staleness;
     opts.current_time = db_.Now();
@@ -1138,15 +1222,23 @@ Status Server::ExecExplain(const ExplainStmt& stmt, Session* session) {
 
 StatusOr<Server::CompiledProcedure*> Server::CompileProcedure(
     const std::string& name) {
-  auto it = procedure_cache_.find(name);
-  if (it != procedure_cache_.end()) return &it->second;
+  // std::map nodes are stable, so the returned pointer survives concurrent
+  // insertions of other procedures; entries are only erased by DDL, which is
+  // setup-only.
+  {
+    std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+    auto it = procedure_cache_.find(name);
+    if (it != procedure_cache_.end()) return &it->second;
+  }
   const ProcedureDef* def = db_.catalog().GetProcedure(name);
   if (def == nullptr) {
     return Status::NotFound("procedure not found: " + name);
   }
+  // Parse outside the lock; insert-or-discard on a compile race.
   CompiledProcedure proc;
   proc.def = def;
   MT_ASSIGN_OR_RETURN(proc.body, ParseSqlScript(def->body_source));
+  std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
   auto [inserted_it, ok] = procedure_cache_.emplace(name, std::move(proc));
   return &inserted_it->second;
 }
@@ -1157,7 +1249,7 @@ Status Server::ExecExec(const ExecStmt& stmt, Session* session,
   const ProcedureDef* def = db_.catalog().GetProcedure(stmt.procedure);
   if (def == nullptr) {
     // Transparent forwarding to the backend (§5.2).
-    const std::string& backend = options_.optimizer.backend_server;
+    const std::string backend = SnapshotOptimizerOptions().backend_server;
     if (backend.empty() || links_ == nullptr) {
       return Status::NotFound("procedure not found: " + stmt.procedure);
     }

@@ -1,9 +1,11 @@
 #ifndef MTCACHE_ENGINE_SERVER_H_
 #define MTCACHE_ENGINE_SERVER_H_
 
+#include <cassert>
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "engine/database.h"
 #include "engine/dmv.h"
 #include "engine/metrics.h"
+#include "engine/session.h"
 #include "exec/exec.h"
 #include "opt/optimizer.h"
 #include "sql/parser.h"
@@ -22,18 +25,29 @@ class Server;
 
 /// Name -> server map, the moral equivalent of SQL Server's linked-server
 /// registry (§2.1). Remote queries and forwarded DML resolve through it.
+///
+/// Read-only after setup: every Register call must happen before concurrent
+/// execution starts (typically in MTCache::Setup or test fixtures). Freeze()
+/// marks the end of setup; a Register after Freeze asserts in debug builds.
+/// Lookups are unsynchronized reads, which is safe exactly because the map
+/// never changes afterwards.
 class LinkedServerRegistry {
  public:
   void Register(const std::string& name, Server* server) {
+    assert(!frozen_ && "LinkedServerRegistry is read-only after Freeze()");
     servers_[name] = server;
   }
   Server* Get(const std::string& name) const {
     auto it = servers_.find(name);
     return it == servers_.end() ? nullptr : it->second;
   }
+  /// Declares setup finished; further Register calls are programming errors.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
 
  private:
   std::map<std::string, Server*> servers_;
+  bool frozen_ = false;
 };
 
 struct ServerOptions {
@@ -62,10 +76,24 @@ class Server : public RemoteExecutor, public VirtualTableProvider {
   void set_optimizer_options(const OptimizerOptions& opts);
 
   /// Executes a script (one or more ';'-separated statements). Returns the
-  /// last SELECT's result (or rows_affected of the last DML).
+  /// last SELECT's result (or rows_affected of the last DML). Each call runs
+  /// on a fresh Session; safe to call from any number of threads at once.
   StatusOr<QueryResult> Execute(const std::string& sql);
   StatusOr<QueryResult> Execute(const std::string& sql, const ParamMap& params,
                                 ExecStats* stats);
+
+  /// Executes a script on an existing connection's Session, so local
+  /// variables and an open explicit transaction persist across calls. The
+  /// caller must not use the same Session from two threads at once; distinct
+  /// Sessions may execute concurrently.
+  StatusOr<QueryResult> ExecuteOnSession(Session* session,
+                                         const std::string& sql,
+                                         ExecStats* stats);
+
+  /// Runs `statements` through a fixed pool of `num_workers` worker threads
+  /// (see SessionPool) and returns their results in submission order.
+  std::vector<StatusOr<QueryResult>> ExecuteConcurrent(
+      const std::vector<std::string>& statements, int num_workers);
 
   /// Executes a script, failing on the first error; results are discarded.
   Status ExecuteScript(const std::string& sql);
@@ -124,14 +152,6 @@ class Server : public RemoteExecutor, public VirtualTableProvider {
   void RecomputeStats();
 
  private:
-  struct Session {
-    ParamMap vars;
-    std::unique_ptr<Transaction> txn;  // explicit transaction, if open
-    QueryResult result;
-    bool has_result = false;
-    bool return_requested = false;
-  };
-
   struct CachedPlan {
     PhysicalPtr plan;
     Schema schema;
@@ -142,14 +162,20 @@ class Server : public RemoteExecutor, public VirtualTableProvider {
     bool uses_remote = false;
     bool dynamic_plan = false;
   };
+  /// Plans are handed out as shared_ptr-to-const: an executing session keeps
+  /// its plan alive even if the cache is invalidated mid-flight (epoch-based
+  /// invalidation — the cache drops its reference and bumps the generation;
+  /// it never destroys a plan someone is running).
+  using CachedPlanPtr = std::shared_ptr<const CachedPlan>;
 
   struct CompiledProcedure {
     const ProcedureDef* def = nullptr;
-    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> body;  // read-only after compilation
     // Plans for SELECTs inside the body, keyed by statement address. This is
     // what makes dynamic plans pay off: parameterized procedure queries are
     // optimized once and the startup predicates pick the branch per call.
-    std::map<const Stmt*, CachedPlan> plans;
+    // Guarded by plan_cache_mu_, like the statement cache.
+    std::map<const Stmt*, CachedPlanPtr> plans;
   };
 
   Status ExecuteStmtList(const std::vector<StmtPtr>& stmts, Session* session,
@@ -202,19 +228,22 @@ class Server : public RemoteExecutor, public VirtualTableProvider {
                                                 Session* session,
                                                 ExecStats* stats);
 
-  /// Returns a pointer either into the plan cache or, for non-cacheable
-  /// statements (freshness-constrained), into `*uncached_storage`, which the
-  /// caller owns for the duration of the execution. Never stashes uncached
-  /// plans in the shared cache: a sentinel slot there would be clobbered by
-  /// the next uncacheable statement while this pointer is still live, and
-  /// would pollute cache-size accounting.
-  StatusOr<const CachedPlan*> PlanSelect(const SelectStmt& stmt,
-                                         Session* session,
-                                         CompiledProcedure* proc,
-                                         const std::string& cache_key,
-                                         CachedPlan* uncached_storage);
+  /// Returns the plan for `stmt`: a cache hit under a shared lock, or the
+  /// result of optimizing outside any lock. Cacheable plans are inserted
+  /// under the exclusive lock with insert-or-discard semantics — if another
+  /// session optimized the same statement first, or the cache generation
+  /// changed (an invalidation ran while we optimized), this session simply
+  /// executes its own freshly-optimized plan without caching it. Uncacheable
+  /// (freshness-constrained) statements never enter the shared cache.
+  StatusOr<CachedPlanPtr> PlanSelect(const SelectStmt& stmt, Session* session,
+                                     CompiledProcedure* proc,
+                                     const std::string& cache_key);
 
   StatusOr<CompiledProcedure*> CompileProcedure(const std::string& name);
+
+  /// Copy of the optimizer options taken under the plan-cache lock, so a
+  /// concurrent set_optimizer_options never tears the struct mid-read.
+  OptimizerOptions SnapshotOptimizerOptions() const;
 
   // Transaction helpers: returns the session transaction or a fresh
   // auto-commit transaction (committed/aborted by the caller via the guard).
@@ -236,8 +265,17 @@ class Server : public RemoteExecutor, public VirtualTableProvider {
   CachedViewHandler cached_view_handler_;
   CachedViewDropHandler cached_view_drop_handler_;
 
-  std::map<std::string, CachedPlan> statement_plan_cache_;
+  /// Guards the two plan caches, the cache generation, and options_.optimizer
+  /// (which the optimizer reads per statement and set_optimizer_options may
+  /// replace concurrently). Shared on the hit path, exclusive on
+  /// insert/invalidate; never held during optimization.
+  mutable std::shared_mutex plan_cache_mu_;
+  std::map<std::string, CachedPlanPtr> statement_plan_cache_;
   std::map<std::string, CompiledProcedure> procedure_cache_;
+  /// Bumped by every invalidation. A session that optimized against an older
+  /// generation discards its insert (its view of statistics/options may be
+  /// stale), but still executes the plan it holds.
+  int64_t plan_cache_generation_ = 0;
   MetricsRegistry metrics_;
   DmvCatalog dmvs_;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -49,11 +51,21 @@ class DualScanExec : public ExecNode {
   bool done_ = false;
 };
 
+// Scans materialize their rows at Open under a briefly-held shared table
+// latch and never touch storage again, so no latch is held across Next and
+// concurrent DML on the same table cannot tear a row mid-scan. Costing is
+// unchanged for a fully-drained scan: every emitted row is charged as it is
+// returned and the dead-slot (or dead-index-entry) remainder is charged once
+// at exhaustion.
 class SeqScanExec : public ExecNode {
  public:
   explicit SeqScanExec(const PhysSeqScan& op) : op_(op) {}
 
   Status Open(ExecContext* ctx) override {
+    rows_.clear();
+    pos_ = 0;
+    dead_slots_ = 0;
+    charged_tail_ = false;
     if (op_.def->virtual_table) {
       // Virtual tables (sys.dm_* DMVs) are materialized at Open time so a
       // query sees one consistent snapshot of the counters.
@@ -61,46 +73,50 @@ class SeqScanExec : public ExecNode {
         return Status::Internal("no virtual-table provider for " +
                                 op_.def->name);
       }
-      MT_ASSIGN_OR_RETURN(virtual_rows_,
+      MT_ASSIGN_OR_RETURN(rows_,
                           ctx->virtual_tables->VirtualTableRows(op_.def->name));
-      pos_ = 0;
       return Status::Ok();
     }
-    table_ = ctx->storage != nullptr
-                 ? ctx->storage->GetStoredTable(op_.def->name)
-                 : nullptr;
-    if (table_ == nullptr) {
+    StoredTable* table = ctx->storage != nullptr
+                             ? ctx->storage->GetStoredTable(op_.def->name)
+                             : nullptr;
+    if (table == nullptr) {
       return Status::Internal("no storage for table " + op_.def->name);
     }
-    rid_ = 0;
+    std::shared_lock<std::shared_mutex> latch(table->latch());
+    const HeapTable& heap = table->heap();
+    rows_.reserve(heap.live_count());
+    for (RowId rid = 0; rid < heap.slot_count(); ++rid) {
+      if (heap.IsLive(rid)) {
+        rows_.push_back(heap.Get(rid));
+      } else {
+        ++dead_slots_;
+      }
+    }
     return Status::Ok();
   }
 
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
-    if (op_.def->virtual_table) {
-      if (pos_ >= virtual_rows_.size()) return false;
+    if (pos_ < rows_.size()) {
       ctx->Charge(CostModel::kSeqRowCost);
-      *row = virtual_rows_[pos_++];
+      *row = rows_[pos_++];
       return true;
     }
-    while (rid_ < table_->heap().slot_count()) {
-      RowId rid = rid_++;
-      ctx->Charge(CostModel::kSeqRowCost);
-      if (!table_->heap().IsLive(rid)) continue;
-      *row = table_->heap().Get(rid);
-      return true;
+    if (!charged_tail_) {
+      ctx->Charge(CostModel::kSeqRowCost * static_cast<double>(dead_slots_));
+      charged_tail_ = true;
     }
     return false;
   }
 
-  void Close() override { virtual_rows_.clear(); }
+  void Close() override { rows_.clear(); }
 
  private:
   const PhysSeqScan& op_;
-  StoredTable* table_ = nullptr;
-  RowId rid_ = 0;
-  std::vector<Row> virtual_rows_;
+  std::vector<Row> rows_;
   size_t pos_ = 0;
+  int64_t dead_slots_ = 0;
+  bool charged_tail_ = false;
 };
 
 class IndexSeekExec : public ExecNode {
@@ -108,85 +124,92 @@ class IndexSeekExec : public ExecNode {
   explicit IndexSeekExec(const PhysIndexSeek& op) : op_(op) {}
 
   Status Open(ExecContext* ctx) override {
-    table_ = ctx->storage != nullptr
-                 ? ctx->storage->GetStoredTable(op_.def->name)
-                 : nullptr;
-    if (table_ == nullptr) {
+    StoredTable* table = ctx->storage != nullptr
+                             ? ctx->storage->GetStoredTable(op_.def->name)
+                             : nullptr;
+    if (table == nullptr) {
       return Status::Internal("no storage for table " + op_.def->name);
     }
     ctx->Charge(CostModel::kIndexSeekCost);
-    empty_ = false;
+    rows_.clear();
+    pos_ = 0;
+    dead_entries_ = 0;
+    charged_tail_ = false;
 
-    prefix_.clear();
+    Row prefix;
     for (const BExprPtr& e : op_.eq_prefix) {
       MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e, nullptr, ctx->Eval()));
-      if (v.is_null()) {
-        empty_ = true;  // equality with NULL matches nothing
-        return Status::Ok();
-      }
-      prefix_.push_back(std::move(v));
+      if (v.is_null()) return Status::Ok();  // = NULL matches nothing
+      prefix.push_back(std::move(v));
     }
-    has_hi_ = false;
+    Value hi;
+    bool has_hi = false;
     if (op_.hi != nullptr) {
       MT_ASSIGN_OR_RETURN(Value v, EvalBound(*op_.hi, nullptr, ctx->Eval()));
-      if (v.is_null()) {
-        empty_ = true;
-        return Status::Ok();
-      }
-      hi_ = std::move(v);
-      has_hi_ = true;
+      if (v.is_null()) return Status::Ok();
+      hi = std::move(v);
+      has_hi = true;
     }
-
-    const BPlusTree& index = table_->index(op_.index_ordinal);
-    Row seek = prefix_;
+    Row seek = prefix;
     if (op_.lo != nullptr) {
       MT_ASSIGN_OR_RETURN(Value v, EvalBound(*op_.lo, nullptr, ctx->Eval()));
-      if (v.is_null()) {
-        empty_ = true;
-        return Status::Ok();
-      }
+      if (v.is_null()) return Status::Ok();
       seek.push_back(std::move(v));
-      it_ = op_.lo_inclusive ? index.SeekGe(seek) : index.SeekGt(seek);
+    }
+
+    // Walk the in-range index entries and copy the live rows out under one
+    // shared latch; the iterator never survives past this block.
+    std::shared_lock<std::shared_mutex> latch(table->latch());
+    const BPlusTree& index = table->index(op_.index_ordinal);
+    BPlusTree::Iterator it;
+    if (op_.lo != nullptr) {
+      it = op_.lo_inclusive ? index.SeekGe(seek) : index.SeekGt(seek);
     } else {
-      it_ = prefix_.empty() ? index.Begin() : index.SeekGe(seek);
+      it = prefix.empty() ? index.Begin() : index.SeekGe(seek);
+    }
+    for (; it.Valid(); it.Next()) {
+      const Row& key = it.key();
+      // Stop when the equality prefix no longer matches.
+      if (!prefix.empty() && BPlusTree::ComparePrefix(key, prefix) != 0) break;
+      if (has_hi) {
+        size_t range_pos = prefix.size();
+        if (range_pos < key.size()) {
+          int c = key[range_pos].Compare(hi);
+          if (c > 0 || (c == 0 && !op_.hi_inclusive)) break;
+        }
+      }
+      RowId rid = it.rowid();
+      if (!table->heap().IsLive(rid)) {
+        ++dead_entries_;
+        continue;
+      }
+      rows_.push_back(table->heap().Get(rid));
     }
     return Status::Ok();
   }
 
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
-    if (empty_) return false;
-    while (it_.Valid()) {
-      const Row& key = it_.key();
-      // Stop when the equality prefix no longer matches.
-      if (!prefix_.empty() &&
-          BPlusTree::ComparePrefix(key, prefix_) != 0) {
-        return false;
-      }
-      if (has_hi_) {
-        size_t range_pos = prefix_.size();
-        if (range_pos < key.size()) {
-          int c = key[range_pos].Compare(hi_);
-          if (c > 0 || (c == 0 && !op_.hi_inclusive)) return false;
-        }
-      }
-      RowId rid = it_.rowid();
-      it_.Next();
+    if (pos_ < rows_.size()) {
       ctx->Charge(CostModel::kIndexRowCost);
-      if (!table_->heap().IsLive(rid)) continue;
-      *row = table_->heap().Get(rid);
+      *row = rows_[pos_++];
       return true;
+    }
+    if (!charged_tail_) {
+      ctx->Charge(CostModel::kIndexRowCost *
+                  static_cast<double>(dead_entries_));
+      charged_tail_ = true;
     }
     return false;
   }
 
+  void Close() override { rows_.clear(); }
+
  private:
   const PhysIndexSeek& op_;
-  StoredTable* table_ = nullptr;
-  BPlusTree::Iterator it_;
-  Row prefix_;
-  Value hi_;
-  bool has_hi_ = false;
-  bool empty_ = false;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+  int64_t dead_entries_ = 0;
+  bool charged_tail_ = false;
 };
 
 // True if the subtree contains a RemoteQuery: classifies a startup-guarded
@@ -388,22 +411,33 @@ class IndexNLJoinExec : public ExecNode {
         if (!more) return false;
         have_outer_ = true;
         outer_matched_ = false;
+        matches_.clear();
+        match_pos_ = 0;
         const Value& key = outer_row_[op_.outer_key];
         ctx->Charge(CostModel::kIndexSeekCost);
-        if (key.is_null()) {
-          it_ = BPlusTree::Iterator();  // NULL keys never match
-        } else {
-          seek_key_ = Row{key};
-          it_ = table_->index(op_.index_ordinal).SeekGe(seek_key_);
+        if (!key.is_null()) {  // NULL keys never match
+          // Copy this outer row's matching inner rows out under one shared
+          // latch; predicates/projections are evaluated on the copies below,
+          // after the latch is released.
+          Row seek_key{key};
+          int64_t entries = 0;
+          {
+            std::shared_lock<std::shared_mutex> latch(table_->latch());
+            for (auto it = table_->index(op_.index_ordinal).SeekGe(seek_key);
+                 it.Valid() &&
+                 BPlusTree::ComparePrefix(it.key(), seek_key) == 0;
+                 it.Next()) {
+              ++entries;
+              RowId rid = it.rowid();
+              if (!table_->heap().IsLive(rid)) continue;
+              matches_.push_back(table_->heap().Get(rid));
+            }
+          }
+          ctx->Charge(CostModel::kIndexRowCost * static_cast<double>(entries));
         }
       }
-      while (it_.Valid() &&
-             BPlusTree::ComparePrefix(it_.key(), seek_key_) == 0) {
-        RowId rid = it_.rowid();
-        it_.Next();
-        ctx->Charge(CostModel::kIndexRowCost);
-        if (!table_->heap().IsLive(rid)) continue;
-        const Row& inner = table_->heap().Get(rid);
+      while (match_pos_ < matches_.size()) {
+        const Row& inner = matches_[match_pos_++];
         if (op_.inner_predicate != nullptr) {
           MT_ASSIGN_OR_RETURN(
               bool pass,
@@ -444,14 +478,17 @@ class IndexNLJoinExec : public ExecNode {
     }
   }
 
-  void Close() override { outer_->Close(); }
+  void Close() override {
+    outer_->Close();
+    matches_.clear();
+  }
 
  private:
   const PhysIndexNLJoin& op_;
   std::unique_ptr<ExecNode> outer_;
   StoredTable* table_ = nullptr;
-  BPlusTree::Iterator it_;
-  Row seek_key_;
+  std::vector<Row> matches_;
+  size_t match_pos_ = 0;
   Row outer_row_;
   bool have_outer_ = false;
   bool outer_matched_ = false;

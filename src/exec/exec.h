@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomics.h"
 #include "common/status.h"
 #include "expr/bound_expr.h"
 #include "opt/physical.h"
@@ -58,11 +59,12 @@ class VirtualTableProvider {
 
 /// Runtime counters for dynamic-plan branch selection, bumped by FilterExec
 /// when a startup guard is evaluated. The engine points ExecContext at the
-/// copy inside its MetricsRegistry.
+/// copy inside its MetricsRegistry; relaxed atomics, since every session's
+/// executor bumps the same instance.
 struct ChoosePlanRuntimeStats {
-  int64_t guards_evaluated = 0;   // startup predicates evaluated at Open
-  int64_t local_branches = 0;     // guard passed, branch runs locally
-  int64_t remote_branches = 0;    // guard passed, branch ships a RemoteQuery
+  RelaxedInt64 guards_evaluated = 0;  // startup predicates evaluated at Open
+  RelaxedInt64 local_branches = 0;    // guard passed, branch runs locally
+  RelaxedInt64 remote_branches = 0;   // guard passed, branch ships RemoteQuery
 };
 
 /// Executes shipped SQL on a linked server. Implemented by engine::Server.

@@ -1,5 +1,8 @@
 #include "mtcache/mtcache.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "engine/view_util.h"
 #include "sql/parser.h"
 
@@ -14,6 +17,10 @@ StatusOr<std::unique_ptr<MTCache>> MTCache::Setup(Server* cache,
         "cache server needs a linked-server registry");
   }
   cache->links()->Register(options.backend_link_name, backend);
+  // The backend link is the only one this topology ever needs; freezing the
+  // registry here marks the end of setup so concurrent execution can read it
+  // without a lock (read-only after Freeze, asserted in debug builds).
+  cache->links()->Freeze();
 
   OptimizerOptions opt = cache->optimizer_options();
   opt.backend_server = options.backend_link_name;
@@ -189,8 +196,16 @@ Status MTCache::RefreshCachedView(const std::string& name) {
                         &snapshot_stats));
   {
     auto txn = cache_->db().txn_manager().Begin();
-    for (RowId rid = 0; rid < backing->heap().slot_count(); ++rid) {
-      if (!backing->heap().IsLive(rid)) continue;
+    // Collect the live rids under a shared latch first; Delete takes the
+    // exclusive latch internally per row.
+    std::vector<RowId> live;
+    {
+      std::shared_lock<std::shared_mutex> latch(backing->latch());
+      for (RowId rid = 0; rid < backing->heap().slot_count(); ++rid) {
+        if (backing->heap().IsLive(rid)) live.push_back(rid);
+      }
+    }
+    for (RowId rid : live) {
       Status status = backing->Delete(rid, txn.get());
       if (!status.ok()) {
         cache_->db().txn_manager().Abort(txn.get());

@@ -1162,12 +1162,16 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
           chosen = &m;
         }
       }
+      // Decide whether this site counts toward the view-match stats before
+      // substituting: the substitution frees the subtree info.get points to.
+      const bool count_site =
+          options_.decision_stats != nullptr && info.get->def != nullptr &&
+          !info.get->def->virtual_table &&
+          !catalog_->ViewsOver(info.get->table).empty();
       if (chosen != nullptr) {
         *slot = CloneLogical(*chosen->substitute);
       }
-      if (options_.decision_stats != nullptr && info.get->def != nullptr &&
-          !info.get->def->virtual_table &&
-          !catalog_->ViewsOver(info.get->table).empty()) {
+      if (count_site) {
         bool has_conditional = false;
         for (const ViewMatch& m : matches) {
           if (m.guard != nullptr) has_conditional = true;
@@ -1198,6 +1202,10 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
             MatchViews(*info.get, info.conjuncts, used_cols, *catalog_,
                        options_.allow_mixed_results, options_.max_staleness,
                        options_.current_time);
+        // Substitutions below free the subtree info.get points into; keep
+        // copies of the identifiers needed to re-locate the site afterwards.
+        const std::string site_table = info.get->table;
+        const std::string site_alias = info.get->alias;
         ViewMatch* conditional = nullptr;
         for (ViewMatch& m : matches) {
           if (m.guard != nullptr) {
@@ -1254,8 +1262,8 @@ StatusOr<OptimizeResult> Optimizer::Optimize(const LogicalOp& query) const {
               CollectSites(&mixed_variant, &msites);
               for (LogicalPtr* mslot : msites) {
                 SiteInfo minfo = InspectSite(mslot);
-                if (minfo.get->table == info.get->table &&
-                    minfo.get->alias == info.get->alias) {
+                if (minfo.get->table == site_table &&
+                    minfo.get->alias == site_alias) {
                   *mslot = CloneLogical(*conditional->mixed);
                   break;
                 }

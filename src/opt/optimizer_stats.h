@@ -3,30 +3,33 @@
 
 #include <cstdint>
 
+#include "common/atomics.h"
+
 namespace mtcache {
 
 /// Optimizer decision counters, incremented when a sink is installed via
 /// `OptimizerOptions::decision_stats`. The engine's MetricsRegistry embeds
 /// one of these; it lives in its own header so both the optimizer and view
-/// matching can fill it without depending on engine headers.
+/// matching can fill it without depending on engine headers. Relaxed atomics:
+/// concurrent sessions optimize (and bump) in parallel.
 struct OptimizerDecisionStats {
   /// Unconditional view substitutions applied (pass 1).
-  int64_t view_match_hits = 0;
+  RelaxedInt64 view_match_hits = 0;
   /// Sites with at least one candidate view where no substitution and no
   /// dynamic plan was applied (cost-based rejection or staleness).
-  int64_t view_match_misses = 0;
+  RelaxedInt64 view_match_misses = 0;
   /// Conditional (guarded) matches turned into ChoosePlan dynamic plans.
-  int64_t view_match_conditional = 0;
+  RelaxedInt64 view_match_conditional = 0;
   /// Final plans containing a startup-predicate branch.
-  int64_t dynamic_plans = 0;
+  RelaxedInt64 dynamic_plans = 0;
   /// Final plans containing a RemoteQuery operator.
-  int64_t remote_plans = 0;
+  RelaxedInt64 remote_plans = 0;
   /// Freshness-constrained queries only (max_staleness >= 0): cached views
   /// that passed the currency check and stayed eligible for matching.
-  int64_t currency_checks_passed = 0;
+  RelaxedInt64 currency_checks_passed = 0;
   /// Cached views rejected as too stale for the query's staleness budget
   /// (the plan falls back to the backend for those rows).
-  int64_t currency_fallbacks = 0;
+  RelaxedInt64 currency_fallbacks = 0;
 };
 
 }  // namespace mtcache

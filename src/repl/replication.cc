@@ -1,5 +1,7 @@
 #include "repl/replication.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "opt/cost_model.h"
@@ -220,6 +222,9 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
   auto find_row = [&](const Row& image) -> RowId {
     if (def.indexes.empty() || def.primary_key.empty()) return -1;
     Row key = key_of(image);
+    // Shared latch: sessions may be scanning the cached view while the
+    // distribution agent applies changes from the replication thread.
+    std::shared_lock<std::shared_mutex> latch(table->latch());
     for (auto it = table->index(0).SeekGe(key);
          it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
          it.Next()) {
@@ -287,7 +292,7 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
   double latency = now - txn.commit_time;
   if (latency >= 0) {
     metrics_.latency_sum += latency;
-    metrics_.latency_max = std::max(metrics_.latency_max, latency);
+    metrics_.latency_max.UpdateMax(latency);
     ++metrics_.latency_count;
   }
   if (Decide(FaultSite::kApplyCommit) == FaultAction::kCrash) {
@@ -347,8 +352,7 @@ Status ReplicationSystem::RunDistributionAgent(Server* subscriber,
       TableDef* target =
           subscriber->db().catalog().GetTable(sub->target_table);
       if (target != nullptr) {
-        target->freshness_time =
-            std::max(target->freshness_time, pub->second.last_scan_time);
+        target->freshness_time.UpdateMax(pub->second.last_scan_time);
       }
     }
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/view_def.h"
+#include "common/atomics.h"
 #include "common/sim_clock.h"
 #include "engine/server.h"
 #include "repl/fault.h"
@@ -46,20 +47,24 @@ struct PendingTxn {
   int64_t attempts = 0;
 };
 
+/// Relaxed atomics: the pipeline bumps these from the replication driver
+/// while concurrent sessions read them through the sys.dm_repl_metrics
+/// provider on other threads.
 struct ReplicationMetrics {
-  int64_t records_scanned = 0;     // log reader work
-  int64_t changes_enqueued = 0;    // distributor work
-  int64_t changes_applied = 0;     // subscriber work
-  int64_t txns_applied = 0;
-  int64_t txns_retried = 0;        // deliveries re-attempted after a failure
-  int64_t crashes_injected = 0;    // pipeline crashes taken (FaultPlan)
-  int64_t deliveries_dropped = 0;  // deliveries lost in transit (retried)
-  double latency_sum = 0;          // commit-to-commit, seconds
-  double latency_max = 0;
-  int64_t latency_count = 0;
+  RelaxedInt64 records_scanned = 0;     // log reader work
+  RelaxedInt64 changes_enqueued = 0;    // distributor work
+  RelaxedInt64 changes_applied = 0;     // subscriber work
+  RelaxedInt64 txns_applied = 0;
+  RelaxedInt64 txns_retried = 0;        // deliveries re-attempted after fail
+  RelaxedInt64 crashes_injected = 0;    // pipeline crashes taken (FaultPlan)
+  RelaxedInt64 deliveries_dropped = 0;  // deliveries lost in transit (retried)
+  RelaxedDouble latency_sum = 0;        // commit-to-commit, seconds
+  RelaxedDouble latency_max = 0;
+  RelaxedInt64 latency_count = 0;
 
   double AvgLatency() const {
-    return latency_count > 0 ? latency_sum / latency_count : 0.0;
+    int64_t n = latency_count;
+    return n > 0 ? latency_sum / n : 0.0;
   }
 };
 

@@ -103,6 +103,7 @@ StatusOr<RowId> StoredTable::Insert(const Row& row, Transaction* txn) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    def_->name);
   }
+  std::unique_lock<std::shared_mutex> latch(latch_);
   MT_RETURN_IF_ERROR(CheckUnique(row, -1));
   RowId rid = heap_.Insert(row);
   IndexInsert(row, rid);
@@ -119,6 +120,7 @@ StatusOr<RowId> StoredTable::Insert(const Row& row, Transaction* txn) {
 }
 
 Status StoredTable::Delete(RowId rid, Transaction* txn) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   if (!heap_.IsLive(rid)) {
     return Status::NotFound("rowid not live in table " + def_->name);
   }
@@ -138,6 +140,7 @@ Status StoredTable::Delete(RowId rid, Transaction* txn) {
 }
 
 Status StoredTable::Update(RowId rid, const Row& new_row, Transaction* txn) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   if (!heap_.IsLive(rid)) {
     return Status::NotFound("rowid not live in table " + def_->name);
   }
@@ -164,17 +167,20 @@ Status StoredTable::Update(RowId rid, const Row& new_row, Transaction* txn) {
 }
 
 void StoredTable::PhysicalDelete(RowId rid) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   if (!heap_.IsLive(rid)) return;
   IndexErase(heap_.Get(rid), rid);
   heap_.Delete(rid);
 }
 
 void StoredTable::PhysicalRestore(RowId rid, const Row& row) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   heap_.RestoreAt(rid, row);
   IndexInsert(row, rid);
 }
 
 void StoredTable::PhysicalUpdate(RowId rid, const Row& row) {
+  std::unique_lock<std::shared_mutex> latch(latch_);
   if (!heap_.IsLive(rid)) return;
   IndexErase(heap_.Get(rid), rid);
   heap_.Update(rid, row);

@@ -1,7 +1,9 @@
 #ifndef MTCACHE_STORAGE_TABLE_H_
 #define MTCACHE_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +46,18 @@ class HeapTable {
 /// All mutations go through the logged, transactional entry points, which
 /// enforce unique constraints, maintain every index, write WAL records, and
 /// register undo actions with the transaction.
+///
+/// Concurrency: a table-granularity reader/writer latch. Every mutation
+/// entry point (logged and physical) takes the latch exclusive internally
+/// for the duration of that single row change, so DML against one table
+/// serializes while concurrent SELECTs of other tables proceed. Readers take
+/// it shared via latch() just long enough to materialize the rows they need
+/// (scans copy matching rows at Open; they never hold the latch across
+/// Next). Because no code path ever holds two table latches at once — each
+/// mutation latches exactly one table, and rollback undoes entries one
+/// self-latching call at a time — there is no lock-order cycle to worry
+/// about. DDL (AddIndex/BuildIndex/RemoveIndex/RecomputeStats) is
+/// setup-only and must not run concurrently with queries.
 class StoredTable {
  public:
   /// `def` and `log` must outlive the table. `log` may be null for catalogs
@@ -88,6 +102,11 @@ class StoredTable {
   /// Recomputes the TableDef's statistics from the stored rows.
   void RecomputeStats();
 
+  /// The table latch. Readers lock it shared while copying rows out of the
+  /// heap/indexes; mutations lock it exclusive internally. Exposed so the
+  /// executor and engine read paths can take shared guards.
+  std::shared_mutex& latch() const { return latch_; }
+
  private:
   Status CheckUnique(const Row& row, RowId ignore_rid) const;
   void IndexInsert(const Row& row, RowId rid);
@@ -97,6 +116,7 @@ class StoredTable {
   LogManager* log_;
   HeapTable heap_;
   std::vector<BPlusTree> indexes_;
+  mutable std::shared_mutex latch_;
 };
 
 /// Undo entry captured by StoredTable mutations.
@@ -141,7 +161,7 @@ class TransactionManager {
 
  private:
   LogManager* log_;
-  TxnId next_txn_ = 1;
+  std::atomic<TxnId> next_txn_{1};  // sessions begin transactions in parallel
 };
 
 /// Recomputes TableStats by scanning the heap.

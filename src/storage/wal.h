@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,8 @@ struct LogRecord {
 
 /// The database log. Append-only; readers (the replication log reader) poll
 /// from a saved position. Records already propagated to all subscribers can
-/// be truncated.
+/// be truncated. Internally synchronized: concurrent sessions append while
+/// the replication log reader scans from another thread.
 class LogManager {
  public:
   LogManager() = default;
@@ -40,15 +42,25 @@ class LogManager {
   LogManager& operator=(const LogManager&) = delete;
 
   Lsn Append(LogRecord record) {
+    std::lock_guard<std::mutex> guard(mu_);
     record.lsn = next_lsn_++;
     Lsn lsn = record.lsn;
     records_.push_back(std::move(record));
     return lsn;
   }
 
-  Lsn next_lsn() const { return next_lsn_; }
-  Lsn first_lsn() const { return first_lsn_; }
-  int64_t size() const { return static_cast<int64_t>(records_.size()); }
+  Lsn next_lsn() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return next_lsn_;
+  }
+  Lsn first_lsn() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return first_lsn_;
+  }
+  int64_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return static_cast<int64_t>(records_.size());
+  }
 
   /// Copies records with lsn in [from, next_lsn()) into `out`; returns the
   /// new read position. A read-fault hook (below) can stop the scan early,
@@ -68,6 +80,7 @@ class LogManager {
   void TruncateBefore(Lsn up_to);
 
  private:
+  mutable std::mutex mu_;  // guards records_, next_lsn_, first_lsn_
   std::deque<LogRecord> records_;
   Lsn next_lsn_ = 1;
   Lsn first_lsn_ = 1;

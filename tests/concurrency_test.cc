@@ -1,0 +1,337 @@
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/consistency.h"
+#include "common/random.h"
+#include "engine/session.h"
+#include "mtcache/mtcache.h"
+#include "repl/fault.h"
+
+namespace mtcache {
+namespace {
+
+/// Collects the first failure observed on a worker thread so it can be
+/// reported from the main thread (gtest assertions are not thread-safe for
+/// fatal failures off the main thread).
+class ThreadErrors {
+ public:
+  void Record(const std::string& message) {
+    std::lock_guard<std::mutex> guard(mu_);
+    ++count_;
+    if (first_.empty()) first_ = message;
+  }
+  int count() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return count_;
+  }
+  std::string first() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int count_ = 0;
+  std::string first_;
+};
+
+/// Single-server concurrency: many sessions against one Server, hammering
+/// the plan cache, the metrics registry, and the DMVs from parallel threads.
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  ConcurrencyTest() : server_(ServerOptions{"backend", "dbo", {}}, &clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(server_
+                    .ExecuteScript(
+                        "CREATE TABLE item (i_id INT PRIMARY KEY, "
+                        "i_title VARCHAR(30), i_cost FLOAT)")
+                    .ok());
+    for (int i = 1; i <= 100; ++i) {
+      ASSERT_TRUE(server_
+                      .ExecuteScript("INSERT INTO item VALUES (" +
+                                     std::to_string(i) + ", 'title" +
+                                     std::to_string(i) + "', " +
+                                     std::to_string(i * 1.5) + ")")
+                      .ok());
+    }
+    server_.RecomputeStats();
+  }
+
+  SimClock clock_;
+  Server server_;
+};
+
+TEST_F(ConcurrencyTest, ExecuteConcurrentReturnsCorrectResultsInOrder) {
+  // A mix of repeated texts (plan-cache hits under the shared lock) and
+  // distinct texts (insert-or-discard races on the exclusive path).
+  std::vector<std::string> statements;
+  std::vector<int64_t> expected;
+  Random rng(7);
+  for (int i = 0; i < 64; ++i) {
+    int64_t id = i % 2 == 0 ? 17 : rng.Uniform(1, 100);
+    statements.push_back("SELECT i_id FROM item WHERE i_id = " +
+                         std::to_string(id));
+    expected.push_back(id);
+  }
+  std::vector<StatusOr<QueryResult>> results =
+      server_.ExecuteConcurrent(statements, 8);
+  ASSERT_EQ(results.size(), statements.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ASSERT_EQ(results[i]->rows.size(), 1u) << statements[i];
+    EXPECT_EQ(results[i]->rows[0][0].AsInt(), expected[i]);
+  }
+  EXPECT_GT(server_.plan_cache_stats().hits, 0);
+}
+
+TEST_F(ConcurrencyTest, SessionStatePersistsAcrossBatchesOnOneWorker) {
+  SessionPool pool(&server_, 1);
+  ASSERT_TRUE(pool.Submit("SET @x = 41").get().ok());
+  auto r = pool.Submit("SELECT @x + 1 AS x").get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsInt(), 42);
+}
+
+TEST_F(ConcurrencyTest, PlanCacheSurvivesConcurrentEpochInvalidation) {
+  // Readers keep executing while the main thread repeatedly changes
+  // optimizer options — the epoch scheme must let in-flight statements
+  // finish on their (now-invalidated) plans and later statements recompile,
+  // with every answer staying correct throughout.
+  ThreadErrors errors;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([this, t, &errors, &stop] {
+      Random rng(1000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t id = rng.Uniform(1, 100);
+        auto r = server_.Execute("SELECT i_cost FROM item WHERE i_id = " +
+                                 std::to_string(id % 8 + 1));
+        if (!r.ok()) {
+          errors.Record(r.status().ToString());
+          return;
+        }
+        if (r->rows.size() != 1 ||
+            r->rows[0][0].AsDouble() != (id % 8 + 1) * 1.5) {
+          errors.Record("wrong row for id " + std::to_string(id % 8 + 1));
+          return;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    OptimizerOptions opts = server_.optimizer_options();
+    opts.enable_view_matching = i % 2 == 0;
+    server_.set_optimizer_options(opts);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(errors.count(), 0) << errors.first();
+  EXPECT_GE(server_.plan_cache_stats().invalidations, 50);
+}
+
+TEST_F(ConcurrencyTest, DmvReadsRaceWithStatementExecution) {
+  ThreadErrors errors;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  // Two executors keep the metrics registry and trace ring churning...
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([this, t, &errors, &stop] {
+      Random rng(2000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = server_.Execute("SELECT COUNT(*) FROM item WHERE i_id <= " +
+                                 std::to_string(rng.Uniform(1, 100)));
+        if (!r.ok()) {
+          errors.Record(r.status().ToString());
+          return;
+        }
+      }
+    });
+  }
+  // ...while two observers scan every DMV through the ordinary query path.
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([this, &errors, &stop] {
+      const std::vector<std::string> dmvs = {
+          "SELECT * FROM sys.dm_plan_cache",
+          "SELECT * FROM sys.dm_exec_query_stats",
+          "SELECT * FROM sys.dm_exec_requests",
+      };
+      size_t next = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = server_.Execute(dmvs[next++ % dmvs.size()]);
+        if (!r.ok()) {
+          errors.Record(r.status().ToString());
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.count(), 0) << errors.first();
+}
+
+/// Full-topology concurrency: replication pumping with injected faults on
+/// the main thread while reader sessions query the cache in parallel.
+class ReplicatedConcurrencyTest : public ::testing::Test {
+ protected:
+  ReplicatedConcurrencyTest()
+      : backend_(ServerOptions{"backend", "dbo", {}}, &clock_, &links_),
+        cache_(ServerOptions{"cache", "dbo", {}}, &clock_, &links_),
+        repl_(&clock_) {}
+
+  void SetUp() override {
+    ASSERT_TRUE(backend_
+                    .ExecuteScript(
+                        "CREATE TABLE product (p_id INT PRIMARY KEY, "
+                        "p_name VARCHAR(30), p_cat VARCHAR(10), "
+                        "p_price FLOAT)")
+                    .ok());
+    for (int i = 1; i <= 40; ++i) {
+      ASSERT_TRUE(InsertProduct(i).ok());
+    }
+    backend_.RecomputeStats();
+    auto setup = MTCache::Setup(&cache_, &backend_, &repl_);
+    ASSERT_TRUE(setup.ok()) << setup.status().ToString();
+    mtcache_ = setup.ConsumeValue();
+    ASSERT_TRUE(mtcache_
+                    ->CreateCachedView("hot_products",
+                                       "SELECT p_id, p_name FROM product "
+                                       "WHERE p_cat = 'hot'")
+                    .ok());
+  }
+
+  Status InsertProduct(int i) {
+    std::string cat = i % 2 == 0 ? "hot" : "cold";
+    return backend_.ExecuteScript(
+        "INSERT INTO product VALUES (" + std::to_string(i) + ", 'p" +
+        std::to_string(i) + "', '" + cat + "', " + std::to_string(i * 2.0) +
+        ")");
+  }
+
+  SimClock clock_;
+  LinkedServerRegistry links_;
+  Server backend_;
+  Server cache_;
+  ReplicationSystem repl_;
+  std::unique_ptr<MTCache> mtcache_;
+};
+
+TEST_F(ReplicatedConcurrencyTest, ReadersRaceReplicationApplyUnderFaults) {
+  FaultPlan plan(11);
+  plan.AddRandomRule(FaultSite::kDeliverTxn, FaultAction::kDrop, 0.2);
+  plan.AddRandomRule(FaultSite::kApplyCommit, FaultAction::kCrash, 0.1);
+  repl_.set_fault_plan(&plan);
+  mtcache_->set_fault_plan(&plan);
+
+  ThreadErrors errors;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  const int base_hot = 20;
+  const int new_rows = 30;  // ids 41..70, half hot
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([this, t, &errors, &stop, base_hot, new_rows] {
+      Random rng(3000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = cache_.Execute("SELECT COUNT(*) FROM hot_products");
+        if (!r.ok()) {
+          errors.Record(r.status().ToString());
+          return;
+        }
+        int64_t count = r->rows[0][0].AsInt();
+        // Monotonicity is not guaranteed mid-apply, but the count can never
+        // leave the [initial, initial + all new hot rows] envelope.
+        if (count < base_hot || count > base_hot + new_rows / 2) {
+          errors.Record("hot count out of range: " + std::to_string(count));
+          return;
+        }
+        if (rng.Bernoulli(0.3)) std::this_thread::yield();
+      }
+    });
+  }
+
+  // Main thread: interleave backend writes, faulty pipeline rounds, and
+  // mid-flight ordering-invariant checks. The fault plan injects drops and
+  // apply crashes; retries happen after simulated backoff.
+  ConsistencyChecker checker(&repl_, &backend_, &cache_);
+  ExecStats pub_stats, sub_stats;
+  for (int i = 0; i < new_rows; ++i) {
+    ASSERT_TRUE(InsertProduct(41 + i).ok());
+    clock_.Advance(1.0);
+    repl_.RunOnce(&pub_stats, &sub_stats).ok();  // faults => non-ok is fine
+    if (i % 5 == 0) {
+      ConsistencyReport mid = checker.CheckInvariants();
+      EXPECT_TRUE(mid.ok()) << mid.ToString();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  ASSERT_EQ(errors.count(), 0) << errors.first();
+
+  // Quiesce and prove full row-level convergence despite the faults.
+  ASSERT_TRUE(DrainPipeline(&repl_, &clock_).ok());
+  ConsistencyReport report = checker.Check();
+  EXPECT_TRUE(report.ok()) << report.ToString() << "\n" << plan.ToString();
+  auto final_count = cache_.Execute("SELECT COUNT(*) FROM hot_products");
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(final_count->rows[0][0].AsInt(), base_hot + new_rows / 2);
+}
+
+TEST_F(ReplicatedConcurrencyTest, RandomizedInterleavingsStayConsistent) {
+  // 50 deterministic seeds, each driving a different fault schedule and a
+  // different interleaving of writes, pipeline rounds, and concurrent
+  // reader batches — the PR-1 schedule machinery, now with real threads.
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    FaultPlan plan(seed);
+    plan.AddRandomRule(FaultSite::kDeliverTxn, FaultAction::kDrop, 0.15);
+    plan.AddRandomRule(FaultSite::kApplyCommit, FaultAction::kCrash, 0.1);
+    plan.AddRandomRule(FaultSite::kLogReadRecord, FaultAction::kCrash, 0.05);
+    repl_.set_fault_plan(&plan);
+    mtcache_->set_fault_plan(&plan);
+    Random rng(seed * 7919 + 1);
+
+    int id = 100 + static_cast<int>(seed) * 8;
+    ExecStats pub_stats, sub_stats;
+    for (int step = 0; step < 4; ++step) {
+      ASSERT_TRUE(InsertProduct(id++).ok());
+      clock_.Advance(rng.NextDouble() * 2.0);
+      int rounds = static_cast<int>(rng.Uniform(0, 2));
+      for (int r = 0; r < rounds; ++r) {
+        repl_.RunOnce(&pub_stats, &sub_stats).ok();
+      }
+      // Concurrent reader batches racing whatever the pipeline left
+      // in flight this round.
+      std::vector<StatusOr<QueryResult>> results = cache_.ExecuteConcurrent(
+          {"SELECT COUNT(*) FROM hot_products",
+           "SELECT COUNT(*) FROM product",
+           "SELECT * FROM sys.dm_mtcache_views"},
+          2);
+      for (const auto& r : results) {
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+      ConsistencyReport mid =
+          ConsistencyChecker(&repl_, &backend_, &cache_).CheckInvariants();
+      ASSERT_TRUE(mid.ok()) << mid.ToString() << "\n" << plan.ToString();
+    }
+    ASSERT_TRUE(DrainPipeline(&repl_, &clock_).ok()) << plan.ToString();
+    ConsistencyReport report =
+        ConsistencyChecker(&repl_, &backend_, &cache_).Check();
+    ASSERT_TRUE(report.ok()) << report.ToString() << "\n" << plan.ToString();
+    repl_.set_fault_plan(nullptr);
+    mtcache_->set_fault_plan(nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace mtcache
