@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "common/trace.h"
 #include "sim/testbed.h"
 
 namespace mtcache {
@@ -45,6 +46,7 @@ inline std::string JsonEscape(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
       case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
@@ -85,13 +87,16 @@ inline std::string DmvSnapshotJson(Server* server) {
                             "DMV snapshot");
     if (!first_dmv) out += ", ";
     first_dmv = false;
-    out += "\"" + name + "\": [";
+    // DMV and column names are escaped like any other string: they come from
+    // catalog metadata today, but a name with a quote or backslash must not
+    // be able to corrupt the artifact.
+    out += "\"" + JsonEscape(name) + "\": [";
     for (size_t i = 0; i < r.rows.size(); ++i) {
       if (i > 0) out += ", ";
       out += "{";
       for (int c = 0; c < r.schema.num_columns(); ++c) {
         if (c > 0) out += ", ";
-        out += "\"" + r.schema.column(c).name +
+        out += "\"" + JsonEscape(r.schema.column(c).name) +
                "\": " + ValueToJson(r.rows[i][c]);
       }
       out += "}";
@@ -100,6 +105,25 @@ inline std::string DmvSnapshotJson(Server* server) {
   }
   out += "}";
   return out;
+}
+
+/// Drains the global span recorder into `path` as Chrome trace_event JSON
+/// (load in chrome://tracing or ui.perfetto.dev). Call after a traced run;
+/// reports how many spans were written and whether the ring overflowed.
+inline void WriteChromeTrace(const std::string& path) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  std::vector<TraceSpan> spans = recorder.Snapshot();
+  std::string json = ChromeTraceJson(spans);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write trace file %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("trace: wrote %zu spans to %s%s\n", spans.size(), path.c_str(),
+              recorder.dropped() > 0 ? " (ring overflowed; oldest dropped)"
+                                     : "");
 }
 
 /// Runs `fn(thread_index, rng)` on `n_threads` concurrent threads and joins

@@ -105,13 +105,25 @@ int RunThreadScaling(int max_threads, bool smoke) {
 int main(int argc, char** argv) {
   bool smoke = false;
   int threads = 0;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[i + 1]);
     }
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[i + 1];
+    }
   }
-  if (threads > 0) return RunThreadScaling(threads, smoke);
+  // --trace FILE: record spans for the whole run and write Chrome trace JSON
+  // on exit. Tracing alters timings (span bookkeeping per statement), so
+  // throughput numbers from a traced run are diagnostic, not comparable.
+  if (!trace_path.empty()) TraceRecorder::Global().set_enabled(true);
+  if (threads > 0) {
+    int rc = RunThreadScaling(threads, smoke);
+    if (!trace_path.empty()) WriteChromeTrace(trace_path);
+    return rc;
+  }
 
   Banner("E1", "Baseline throughput without caching",
          "section 6.2.1 table (no cache: 50 / 82 / 283 WIPS)");
@@ -151,5 +163,6 @@ int main(int argc, char** argv) {
   std::printf("JSON: {\"experiment\": \"exp1_baseline_throughput\", "
               "\"smoke\": %s, \"results\": [%s]}\n",
               smoke ? "true" : "false", json_results.c_str());
+  if (!trace_path.empty()) WriteChromeTrace(trace_path);
   return 0;
 }

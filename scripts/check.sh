@@ -6,6 +6,9 @@
 #                             # running the fault-injection suites
 #   scripts/check.sh tsan     # -fsanitize=thread, running the concurrency
 #                             # suites (any data race fails the run)
+#   scripts/check.sh profile  # profiling smoke gate: EXPLAIN ANALYZE actuals,
+#                             # trace spans, percentile/wait DMVs, and a
+#                             # Chrome trace artifact from a traced bench run
 #
 # The asan mode exercises the crash/restart paths with memory checking on:
 # replication_fault_test (incl. the 200-seed randomized schedules),
@@ -52,8 +55,22 @@ case "$mode" in
     (cd build-tsan && ctest --output-on-failure -L concurrency)
     ./build-tsan/bench/exp1_baseline_throughput --threads 4 --smoke
     ;;
+  profile)
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target \
+      profile_smoke exp1_baseline_throughput
+    # The smoke binary asserts EXPLAIN ANALYZE reports nonzero per-operator
+    # actuals on TPC-W queries (including the backend round-trip span for a
+    # remotely routed one), dm_exec_query_profiles / percentile / wait-stats
+    # DMVs are live, and EXPLAIN covers DML.
+    ./build/examples/profile_smoke
+    # A traced bench run must produce a loadable Chrome trace_event artifact.
+    ./build/bench/exp1_baseline_throughput --threads 2 --smoke \
+      --trace build/trace_exp1.json
+    grep -q '"traceEvents"' build/trace_exp1.json
+    ;;
   *)
-    echo "usage: $0 [default|asan|tsan]" >&2
+    echo "usage: $0 [default|asan|tsan|profile]" >&2
     exit 2
     ;;
 esac

@@ -38,6 +38,15 @@ class RelaxedInt64 {
     v_.fetch_add(d, std::memory_order_relaxed);
     return *this;
   }
+  /// Atomically raises the stored value to at least `candidate` (memory
+  /// high-water marks, max latencies in integer units).
+  void UpdateMax(int64_t candidate) {
+    int64_t cur = load();
+    while (cur < candidate &&
+           !v_.compare_exchange_weak(cur, candidate,
+                                     std::memory_order_relaxed)) {
+    }
+  }
 
  private:
   std::atomic<int64_t> v_;

@@ -1,0 +1,133 @@
+#ifndef MTCACHE_COMMON_HISTOGRAM_H_
+#define MTCACHE_COMMON_HISTOGRAM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "common/atomics.h"
+
+namespace mtcache {
+
+/// Lock-free log-bucketed histogram for latency-style measurements.
+///
+/// Buckets are powers of two spanning [2^kMinExp, 2^(kMinExp+kBuckets-2)):
+/// bucket 0 catches everything below 2^kMinExp (including zero), bucket i
+/// (1 <= i < kBuckets-1) covers [2^(kMinExp+i-1), 2^(kMinExp+i)), and the
+/// last bucket catches everything at or above the top bound. With
+/// kMinExp = -30 and 64 buckets the range is ~1 nanosecond-unit to ~4.6e9
+/// units — wide enough for seconds-valued latencies and for abstract cost
+/// units alike, with <= 2x relative bucket width (percentile error bound:
+/// a reported percentile is within one power of two of the true value, and
+/// the interpolated estimate is within ~50% relative error worst case).
+///
+/// Record() is two relaxed atomic adds plus two relaxed max-CAS loops —
+/// safe from any thread, never blocking. Reads (Percentile, Snapshot via
+/// copy) are relaxed per-field, which matches the sys.dm_* point-in-time
+/// contract. Copying yields an independent plain snapshot.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+  static constexpr int kMinExp = -30;  // bucket 1 lower bound = 2^-30
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = default;
+  LogHistogram& operator=(const LogHistogram&) = default;
+
+  /// Maps a value to its bucket index. Negative and sub-minimum values land
+  /// in bucket 0; values beyond the top bound land in the last bucket.
+  static int BucketIndex(double v) {
+    if (!(v >= kMinBound())) return 0;  // also catches NaN
+    int exp = 0;
+    std::frexp(v, &exp);  // v = m * 2^exp with m in [0.5, 1)
+    // v in [2^(exp-1), 2^exp)  =>  bucket index (exp-1) - kMinExp + 1.
+    int idx = exp - kMinExp;
+    if (idx < 1) return 0;
+    if (idx > kBuckets - 1) return kBuckets - 1;
+    return idx;
+  }
+
+  /// Inclusive lower bound of bucket i (0 for bucket 0).
+  static double BucketLowerBound(int i) {
+    if (i <= 0) return 0.0;
+    return std::ldexp(1.0, kMinExp + i - 1);
+  }
+
+  /// Exclusive upper bound of bucket i (+inf for the overflow bucket).
+  static double BucketUpperBound(int i) {
+    if (i >= kBuckets - 1) return HUGE_VAL;
+    return std::ldexp(1.0, kMinExp + i);
+  }
+
+  void Record(double v) {
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    sum_ += v;
+    max_.UpdateMax(v);
+  }
+
+  /// Folds `other` into this histogram (relaxed per-bucket adds).
+  void Merge(const LogHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i].load();
+    count_ += other.count_.load();
+    sum_ += other.sum_.load();
+    max_.UpdateMax(other.max_.load());
+  }
+
+  int64_t Count() const { return count_.load(); }
+  double Sum() const { return sum_.load(); }
+  double Max() const { return max_.load(); }
+  double Avg() const {
+    int64_t n = count_.load();
+    return n > 0 ? sum_.load() / static_cast<double>(n) : 0.0;
+  }
+  int64_t BucketCount(int i) const { return buckets_[i].load(); }
+
+  /// Estimates the p-th percentile (p in [0, 1]) by locating the bucket that
+  /// holds the rank and interpolating linearly within it. Returns 0 when
+  /// empty. The estimate never exceeds the recorded max and is exact for
+  /// bucket-0 values.
+  double Percentile(double p) const {
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    // Snapshot buckets once so the rank math is self-consistent even while
+    // writers keep recording.
+    int64_t counts[kBuckets];
+    int64_t total = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      counts[i] = buckets_[i].load();
+      total += counts[i];
+    }
+    if (total == 0) return 0.0;
+    double rank = p * static_cast<double>(total - 1);
+    int64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (rank < static_cast<double>(seen + counts[i])) {
+        if (i == 0) return 0.0;  // sub-minimum values: report 0
+        double lo = BucketLowerBound(i);
+        double hi = (i == kBuckets - 1) ? max_.load() : BucketUpperBound(i);
+        if (hi < lo) hi = lo;
+        double frac =
+            (rank - static_cast<double>(seen)) / static_cast<double>(counts[i]);
+        double v = lo + frac * (hi - lo);
+        double mx = max_.load();
+        return v > mx ? mx : v;
+      }
+      seen += counts[i];
+    }
+    return max_.load();
+  }
+
+ private:
+  static constexpr double kMinBound() { return 9.313225746154785e-10; }  // 2^-30
+
+  RelaxedInt64 buckets_[kBuckets];
+  RelaxedInt64 count_;
+  RelaxedDouble sum_;
+  RelaxedDouble max_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_HISTOGRAM_H_

@@ -1,0 +1,154 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace mtcache {
+
+namespace {
+
+thread_local SpanScope* g_current_span = nullptr;
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t ThisThreadHash() {
+  return std::hash<std::thread::id>()(std::this_thread::get_id());
+}
+
+void EscapeJsonInto(const std::string& in, std::string* out) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(MonotonicNanos()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return (MonotonicNanos() - epoch_ns_) / 1000;
+}
+
+void TraceRecorder::Record(const TraceSpan& span) {
+  std::lock_guard<SpinLock> lock(ring_lock_);
+  if (ring_.size() >= capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(span);
+}
+
+std::vector<TraceSpan> TraceRecorder::Snapshot() const {
+  std::lock_guard<SpinLock> lock(ring_lock_);
+  return std::vector<TraceSpan>(ring_.begin(), ring_.end());
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<SpinLock> lock(ring_lock_);
+  ring_.clear();
+  dropped_ = 0;
+}
+
+SpanScope::SpanScope(const char* name, std::string detail) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  if (!rec.enabled()) return;
+  active_ = true;
+  span_.name = name;
+  span_.detail = std::move(detail);
+  span_.span_id = rec.NextId();
+  if (g_current_span != nullptr && g_current_span->active_) {
+    span_.trace_id = g_current_span->span_.trace_id;
+    span_.parent_id = g_current_span->span_.span_id;
+  } else {
+    span_.trace_id = rec.NextId();
+    span_.parent_id = 0;
+  }
+  span_.thread_hash = ThisThreadHash();
+  span_.start_us = rec.NowMicros();
+  prev_ = g_current_span;
+  g_current_span = this;
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  TraceRecorder& rec = TraceRecorder::Global();
+  span_.dur_us = rec.NowMicros() - span_.start_us;
+  if (span_.dur_us < 0) span_.dur_us = 0;
+  g_current_span = prev_;
+  rec.Record(span_);
+}
+
+void SpanScope::AppendDetail(const std::string& more) {
+  if (!active_) return;
+  if (!span_.detail.empty()) span_.detail += " ";
+  span_.detail += more;
+}
+
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[256];
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    EscapeJsonInto(s.name, &out);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    // Compress the hash into a small readable id space for the viewer.
+    std::snprintf(buf, sizeof(buf),
+                  "%llu,\"ts\":%lld,\"dur\":%lld,",
+                  static_cast<unsigned long long>(s.thread_hash % 100000),
+                  static_cast<long long>(s.start_us),
+                  static_cast<long long>(s.dur_us));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"args\":{\"trace_id\":%llu,\"span_id\":%llu,"
+                  "\"parent_id\":%llu,\"detail\":\"",
+                  static_cast<unsigned long long>(s.trace_id),
+                  static_cast<unsigned long long>(s.span_id),
+                  static_cast<unsigned long long>(s.parent_id));
+    out += buf;
+    EscapeJsonInto(s.detail, &out);
+    out += "\"}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,101 @@
+#ifndef MTCACHE_COMMON_TRACE_H_
+#define MTCACHE_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/atomics.h"
+
+namespace mtcache {
+
+/// One completed span. Spans form a tree via parent_id within a trace_id;
+/// the root query span has parent_id == 0. Timestamps are real (steady_clock)
+/// microseconds relative to recorder start — replication lag measured in
+/// simulated time lives in sys.dm_repl_lag_histogram instead, but the span
+/// *structure* (log-reader pickup → distribute → apply vs. the originating
+/// query span) is visible here as the cross-tier gap.
+struct TraceSpan {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  const char* name = "";  // static string: span site name
+  std::string detail;     // per-instance detail (statement text, server name)
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+  uint64_t thread_hash = 0;
+};
+
+/// Process-global span recorder. Disabled by default: SpanScope checks one
+/// relaxed atomic load and does nothing else, so instrumented code paths pay
+/// near-zero cost until tracing is switched on (bench --trace, tests).
+/// Completed spans land in a bounded ring under a SpinLock; overflow bumps
+/// `dropped` rather than blocking.
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load() != 0; }
+  void set_enabled(bool on) { enabled_.store(on ? 1 : 0); }
+
+  /// Allocates a fresh id (used for both trace ids and span ids).
+  uint64_t NextId() { return static_cast<uint64_t>(next_id_++); }
+
+  void Record(const TraceSpan& span);
+
+  std::vector<TraceSpan> Snapshot() const;
+  int64_t dropped() const { return dropped_.load(); }
+  void Clear();
+
+  /// Microseconds since recorder construction (monotonic).
+  int64_t NowMicros() const;
+
+ private:
+  TraceRecorder();
+
+  RelaxedInt64 enabled_;
+  RelaxedInt64 next_id_{1};
+  RelaxedInt64 dropped_;
+  int64_t epoch_ns_ = 0;
+  mutable SpinLock ring_lock_;
+  std::deque<TraceSpan> ring_;
+  size_t capacity_ = kDefaultCapacity;
+};
+
+/// RAII span. When the recorder is disabled, construction is a single relaxed
+/// load. When enabled, it allocates a span id, pushes itself on a thread-local
+/// parent stack (so nested scopes — plan lookup inside a query, a remote
+/// round-trip inside execution — chain parent ids automatically, including
+/// synchronous "remote" calls which run on the caller's thread), and records
+/// the completed span on destruction.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, std::string detail = std::string());
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  bool active() const { return active_; }
+  uint64_t trace_id() const { return span_.trace_id; }
+  uint64_t span_id() const { return span_.span_id; }
+
+  /// Appends to the span's detail string (e.g. outcome annotations).
+  void AppendDetail(const std::string& more);
+
+ private:
+  bool active_ = false;
+  TraceSpan span_;
+  SpanScope* prev_ = nullptr;  // saved thread-local parent
+};
+
+/// Renders spans as a Chrome trace_event JSON document (complete "X" events,
+/// chrome://tracing / Perfetto compatible). Thread ids come from the
+/// recording thread's hash so concurrent sessions get separate rows.
+std::string ChromeTraceJson(const std::vector<TraceSpan>& spans);
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_TRACE_H_

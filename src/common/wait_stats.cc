@@ -1,0 +1,28 @@
+#include "common/wait_stats.h"
+
+namespace mtcache {
+
+const char* WaitSiteName(WaitSite site) {
+  switch (site) {
+    case WaitSite::kTableLatchShared:
+      return "TABLE_LATCH_SH";
+    case WaitSite::kTableLatchExclusive:
+      return "TABLE_LATCH_EX";
+    case WaitSite::kPlanCacheShared:
+      return "PLAN_CACHE_SH";
+    case WaitSite::kPlanCacheExclusive:
+      return "PLAN_CACHE_EX";
+    case WaitSite::kWalMutex:
+      return "WAL_MUTEX";
+    case WaitSite::kCount:
+      break;
+  }
+  return "UNKNOWN";
+}
+
+WaitStats& GlobalWaitStats() {
+  static WaitStats stats;
+  return stats;
+}
+
+}  // namespace mtcache

@@ -1,0 +1,127 @@
+#ifndef MTCACHE_COMMON_WAIT_STATS_H_
+#define MTCACHE_COMMON_WAIT_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/atomics.h"
+
+namespace mtcache {
+
+/// Instrumented synchronization sites, mirrored one-to-one as rows of the
+/// sys.dm_os_wait_stats DMV. Keep WaitSiteName() in sync when adding sites.
+enum class WaitSite {
+  kTableLatchShared = 0,   // StoredTable::latch() shared (scans, DML reads)
+  kTableLatchExclusive,    // StoredTable::latch() exclusive (DML mutation)
+  kPlanCacheShared,        // Server::plan_cache_mu_ shared (lookup)
+  kPlanCacheExclusive,     // Server::plan_cache_mu_ exclusive (insert/flush)
+  kWalMutex,               // LogManager::mu_
+  kCount,
+};
+
+const char* WaitSiteName(WaitSite site);
+
+/// Per-site accounting: every acquisition bumps `acquisitions` (one relaxed
+/// add — the uncontended fast path costs a try_lock plus that add); only when
+/// try_lock fails do we bump `contentions` and time the blocking acquire.
+struct WaitSiteStats {
+  RelaxedInt64 acquisitions;
+  RelaxedInt64 contentions;
+  RelaxedDouble wait_seconds;      // total time spent blocked
+  RelaxedDouble max_wait_seconds;  // worst single block
+};
+
+struct WaitStats {
+  WaitSiteStats site[static_cast<int>(WaitSite::kCount)];
+
+  WaitSiteStats& at(WaitSite s) { return site[static_cast<int>(s)]; }
+  const WaitSiteStats& at(WaitSite s) const {
+    return site[static_cast<int>(s)];
+  }
+  void RecordWait(WaitSite s, double seconds) {
+    WaitSiteStats& w = at(s);
+    ++w.contentions;
+    w.wait_seconds += seconds;
+    w.max_wait_seconds.UpdateMax(seconds);
+  }
+};
+
+/// Process-global wait accounting, matching sys.dm_os_wait_stats semantics
+/// (server-wide since startup). All fields are relaxed atomics; safe to read
+/// from DMV scans while latch sites keep recording.
+WaitStats& GlobalWaitStats();
+
+namespace internal {
+
+inline double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace internal
+
+/// RAII shared acquire of a std::shared_mutex with wait accounting.
+class SharedLatchWait {
+ public:
+  SharedLatchWait(std::shared_mutex& mu, WaitSite site) : mu_(mu) {
+    WaitStats& ws = GlobalWaitStats();
+    ++ws.at(site).acquisitions;
+    if (!mu_.try_lock_shared()) {
+      auto t0 = std::chrono::steady_clock::now();
+      mu_.lock_shared();
+      ws.RecordWait(site, internal::SecondsSince(t0));
+    }
+  }
+  ~SharedLatchWait() { mu_.unlock_shared(); }
+  SharedLatchWait(const SharedLatchWait&) = delete;
+  SharedLatchWait& operator=(const SharedLatchWait&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+};
+
+/// RAII exclusive acquire of a std::shared_mutex with wait accounting.
+class ExclusiveLatchWait {
+ public:
+  ExclusiveLatchWait(std::shared_mutex& mu, WaitSite site) : mu_(mu) {
+    WaitStats& ws = GlobalWaitStats();
+    ++ws.at(site).acquisitions;
+    if (!mu_.try_lock()) {
+      auto t0 = std::chrono::steady_clock::now();
+      mu_.lock();
+      ws.RecordWait(site, internal::SecondsSince(t0));
+    }
+  }
+  ~ExclusiveLatchWait() { mu_.unlock(); }
+  ExclusiveLatchWait(const ExclusiveLatchWait&) = delete;
+  ExclusiveLatchWait& operator=(const ExclusiveLatchWait&) = delete;
+
+ private:
+  std::shared_mutex& mu_;
+};
+
+/// RAII acquire of a std::mutex with wait accounting (WAL append path).
+class MutexWait {
+ public:
+  MutexWait(std::mutex& mu, WaitSite site) : mu_(mu) {
+    WaitStats& ws = GlobalWaitStats();
+    ++ws.at(site).acquisitions;
+    if (!mu_.try_lock()) {
+      auto t0 = std::chrono::steady_clock::now();
+      mu_.lock();
+      ws.RecordWait(site, internal::SecondsSince(t0));
+    }
+  }
+  ~MutexWait() { mu_.unlock(); }
+  MutexWait(const MutexWait&) = delete;
+  MutexWait& operator=(const MutexWait&) = delete;
+
+ private:
+  std::mutex& mu_;
+};
+
+}  // namespace mtcache
+
+#endif  // MTCACHE_COMMON_WAIT_STATS_H_

@@ -1,5 +1,9 @@
 #include "engine/dmv.h"
 
+#include <cmath>
+
+#include "common/wait_stats.h"
+
 namespace mtcache {
 
 namespace {
@@ -9,6 +13,9 @@ constexpr const char* kQueryStats = "dm_exec_query_stats";
 constexpr const char* kRequests = "dm_exec_requests";
 constexpr const char* kMtcacheViews = "dm_mtcache_views";
 constexpr const char* kReplMetrics = "dm_repl_metrics";
+constexpr const char* kQueryProfiles = "dm_exec_query_profiles";
+constexpr const char* kReplLagHistogram = "dm_repl_lag_histogram";
+constexpr const char* kWaitStats = "dm_os_wait_stats";
 
 TableDef MakeDmv(const std::string& bare_name,
                  std::vector<std::pair<std::string, TypeId>> columns) {
@@ -63,6 +70,11 @@ std::vector<Row> QueryStatsRows(const DmvSource& src) {
         Value::Int(rollup.totals.rows_transferred),
         Value::Double(rollup.totals.bytes_transferred),
         Value::Int(rollup.totals.remote_queries),
+        Value::Double(rollup.latency.Avg()),
+        Value::Double(rollup.latency.Max()),
+        Value::Double(rollup.latency.Percentile(0.50)),
+        Value::Double(rollup.latency.Percentile(0.95)),
+        Value::Double(rollup.latency.Percentile(0.99)),
     });
   }
   return rows;
@@ -70,6 +82,7 @@ std::vector<Row> QueryStatsRows(const DmvSource& src) {
 
 std::vector<Row> RequestsRows(const DmvSource& src) {
   std::vector<Row> rows;
+  int64_t dropped = src.metrics->entries_dropped();
   for (const QueryTrace& t : src.metrics->SnapshotTrace()) {
     rows.push_back(Row{
         Value::Int(t.query_id),
@@ -82,8 +95,46 @@ std::vector<Row> RequestsRows(const DmvSource& src) {
         Value::Int(t.rows_returned),
         Value::Int(t.stats.rows_transferred),
         Value::Int(t.stats.remote_queries),
+        Value::Double(t.elapsed_seconds),
+        Value::Int(dropped),
         Value::String(t.plan),
     });
+  }
+  return rows;
+}
+
+// Flattens one profile tree pre-order. op_id is the pre-order position
+// (root = 0), parent_id is the parent's op_id (-1 for the root), so the
+// tree can be reassembled from the rows.
+void AppendProfileRows(const QueryProfileRecord& rec, const OperatorProfile& op,
+                       int64_t parent_id, int64_t* next_id,
+                       std::vector<Row>* rows) {
+  int64_t op_id = (*next_id)++;
+  rows->push_back(Row{
+      Value::Int(rec.query_id),
+      Value::String(rec.text),
+      Value::Int(op_id),
+      Value::Int(parent_id),
+      Value::String(op.op_name),
+      Value::Double(op.est_rows),
+      Value::Int(op.actual_rows),
+      Value::Int(op.opens),
+      Value::Int(op.next_calls),
+      Value::Double(op.open_seconds),
+      Value::Double(op.next_seconds),
+      Value::Double(op.close_seconds),
+      Value::Int(op.mem_peak_bytes),
+  });
+  for (const OperatorProfile& child : op.children) {
+    AppendProfileRows(rec, child, op_id, next_id, rows);
+  }
+}
+
+std::vector<Row> QueryProfilesRows(const DmvSource& src) {
+  std::vector<Row> rows;
+  for (const QueryProfileRecord& rec : src.metrics->SnapshotProfiles()) {
+    int64_t next_id = 0;
+    AppendProfileRows(rec, rec.root, -1, &next_id, &rows);
   }
   return rows;
 }
@@ -125,7 +176,45 @@ Row ReplMetricsRow(const DmvSource& src) {
       Value::Double(r.latency_avg),
       Value::Double(r.latency_max),
       Value::Int(r.latency_count),
+      Value::Double(r.latency_p50),
+      Value::Double(r.latency_p95),
+      Value::Double(r.latency_p99),
   };
+}
+
+std::vector<Row> ReplLagHistogramRows(const DmvSource& src) {
+  ReplMetricsSnapshot r = src.metrics->repl_snapshot();
+  std::vector<Row> rows;
+  int64_t cumulative = 0;
+  for (const ReplLagBucket& b : r.lag_buckets) {
+    cumulative += b.count;
+    // The overflow bucket's open upper bound is rendered as NULL, not inf:
+    // the Value layer treats non-finite doubles as untrustworthy literals.
+    rows.push_back(Row{
+        Value::Double(b.lo),
+        std::isfinite(b.hi) ? Value::Double(b.hi) : Value::Null(),
+        Value::Int(b.count),
+        Value::Int(cumulative),
+    });
+  }
+  return rows;
+}
+
+std::vector<Row> WaitStatsRows() {
+  const WaitStats& ws = GlobalWaitStats();
+  std::vector<Row> rows;
+  for (int i = 0; i < static_cast<int>(WaitSite::kCount); ++i) {
+    WaitSite site = static_cast<WaitSite>(i);
+    const WaitSiteStats& s = ws.at(site);
+    rows.push_back(Row{
+        Value::String(WaitSiteName(site)),
+        Value::Int(s.acquisitions),
+        Value::Int(s.contentions),
+        Value::Double(s.wait_seconds),
+        Value::Double(s.max_wait_seconds),
+    });
+  }
+  return rows;
 }
 
 }  // namespace
@@ -159,7 +248,12 @@ DmvCatalog::DmvCatalog() {
        {"remote_cost", TypeId::kDouble},
        {"rows_transferred", TypeId::kInt64},
        {"bytes_transferred", TypeId::kDouble},
-       {"remote_queries", TypeId::kInt64}});
+       {"remote_queries", TypeId::kInt64},
+       {"latency_avg", TypeId::kDouble},
+       {"latency_max", TypeId::kDouble},
+       {"latency_p50", TypeId::kDouble},
+       {"latency_p95", TypeId::kDouble},
+       {"latency_p99", TypeId::kDouble}});
   tables_[kRequests] = MakeDmv(
       kRequests,
       {{"query_id", TypeId::kInt64},
@@ -172,7 +266,24 @@ DmvCatalog::DmvCatalog() {
        {"rows_returned", TypeId::kInt64},
        {"rows_transferred", TypeId::kInt64},
        {"remote_queries", TypeId::kInt64},
+       {"elapsed_seconds", TypeId::kDouble},
+       {"entries_dropped", TypeId::kInt64},
        {"plan", TypeId::kString}});
+  tables_[kQueryProfiles] = MakeDmv(
+      kQueryProfiles,
+      {{"query_id", TypeId::kInt64},
+       {"statement", TypeId::kString},
+       {"op_id", TypeId::kInt64},
+       {"parent_id", TypeId::kInt64},
+       {"operator", TypeId::kString},
+       {"est_rows", TypeId::kDouble},
+       {"actual_rows", TypeId::kInt64},
+       {"opens", TypeId::kInt64},
+       {"next_calls", TypeId::kInt64},
+       {"open_seconds", TypeId::kDouble},
+       {"next_seconds", TypeId::kDouble},
+       {"close_seconds", TypeId::kDouble},
+       {"mem_peak_bytes", TypeId::kInt64}});
   tables_[kMtcacheViews] = MakeDmv(
       kMtcacheViews,
       {{"name", TypeId::kString},
@@ -193,7 +304,23 @@ DmvCatalog::DmvCatalog() {
        {"deliveries_dropped", TypeId::kInt64},
        {"latency_avg", TypeId::kDouble},
        {"latency_max", TypeId::kDouble},
-       {"latency_count", TypeId::kInt64}});
+       {"latency_count", TypeId::kInt64},
+       {"latency_p50", TypeId::kDouble},
+       {"latency_p95", TypeId::kDouble},
+       {"latency_p99", TypeId::kDouble}});
+  tables_[kReplLagHistogram] = MakeDmv(
+      kReplLagHistogram,
+      {{"bucket_lo", TypeId::kDouble},
+       {"bucket_hi", TypeId::kDouble},
+       {"count", TypeId::kInt64},
+       {"cumulative", TypeId::kInt64}});
+  tables_[kWaitStats] = MakeDmv(
+      kWaitStats,
+      {{"wait_type", TypeId::kString},
+       {"acquisitions", TypeId::kInt64},
+       {"contentions", TypeId::kInt64},
+       {"wait_seconds", TypeId::kDouble},
+       {"max_wait_seconds", TypeId::kDouble}});
 }
 
 const TableDef* DmvCatalog::Find(const std::string& name) const {
@@ -223,6 +350,13 @@ StatusOr<std::vector<Row>> DmvRows(const std::string& name,
   if (name == std::string("sys.") + kReplMetrics) {
     return std::vector<Row>{ReplMetricsRow(src)};
   }
+  if (name == std::string("sys.") + kQueryProfiles) {
+    return QueryProfilesRows(src);
+  }
+  if (name == std::string("sys.") + kReplLagHistogram) {
+    return ReplLagHistogramRows(src);
+  }
+  if (name == std::string("sys.") + kWaitStats) return WaitStatsRows();
   return Status::NotFound("unknown DMV: " + name);
 }
 

@@ -11,16 +11,19 @@
 
 namespace mtcache {
 
-/// The dynamic-management-view catalog of one server: five read-only virtual
-/// tables, resolved by the binder under the reserved `sys` qualifier and
-/// scanned through the ordinary SeqScan path (SQL Server's sys.dm_* views,
-/// scaled to this engine's counters):
+/// The dynamic-management-view catalog of one server: eight read-only
+/// virtual tables, resolved by the binder under the reserved `sys` qualifier
+/// and scanned through the ordinary SeqScan path (SQL Server's sys.dm_*
+/// views, scaled to this engine's counters):
 ///
-///   sys.dm_plan_cache        one wide row of plan-cache + optimizer counters
-///   sys.dm_exec_query_stats  per-statement-text ExecStats rollups
-///   sys.dm_exec_requests     the trace ring: last N executed statements
-///   sys.dm_mtcache_views     per cached/materialized view currency state
-///   sys.dm_repl_metrics      replication-pipeline counters (via provider)
+///   sys.dm_plan_cache          one wide row of plan-cache/optimizer counters
+///   sys.dm_exec_query_stats    per-statement-text rollups + p50/p95/p99
+///   sys.dm_exec_requests       the trace ring: last N executed statements
+///   sys.dm_exec_query_profiles per-operator actuals of profiled queries
+///   sys.dm_mtcache_views       per cached/materialized view currency state
+///   sys.dm_repl_metrics        replication-pipeline counters (via provider)
+///   sys.dm_repl_lag_histogram  commit->apply lag distribution (via provider)
+///   sys.dm_os_wait_stats       latch/mutex wait accounting (process-global)
 ///
 /// The defs are owned per-Server so LogicalGet/PhysSeqScan TableDef pointers
 /// in cached plans stay valid for the server's lifetime.

@@ -9,10 +9,24 @@ int64_t MetricsRegistry::RecordStatement(QueryTrace trace) {
   ++rollup.executions;
   rollup.totals.Add(trace.stats);
   rollup.rows_returned += trace.rows_returned;
+  rollup.latency.Record(trace.elapsed_seconds);
   int64_t id = trace.query_id;
   trace_.push_back(std::move(trace));
-  while (trace_.size() > trace_capacity_) trace_.pop_front();
+  while (trace_.size() > trace_capacity_) {
+    trace_.pop_front();
+    ++entries_dropped_;
+  }
   return id;
+}
+
+void MetricsRegistry::RecordProfile(QueryProfileRecord profile) {
+  std::lock_guard<SpinLock> guard(ring_lock_);
+  // EXPLAIN ANALYZE runs outside the statement trace ring and arrives with
+  // no id; give it one from the same sequence so profiles stay ordered
+  // against dm_exec_requests entries.
+  if (profile.query_id == 0) profile.query_id = next_query_id_++;
+  profiles_.push_back(std::move(profile));
+  while (profiles_.size() > profile_capacity_) profiles_.pop_front();
 }
 
 }  // namespace mtcache

@@ -7,8 +7,10 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/atomics.h"
+#include "common/histogram.h"
 #include "exec/exec.h"
 #include "opt/optimizer_stats.h"
 
@@ -36,6 +38,12 @@ struct PlanCacheStats {
 /// Mirror of repl::ReplicationMetrics for sys.dm_repl_metrics. The engine
 /// cannot include repl headers (repl depends on engine), so whoever owns the
 /// ReplicationSystem installs a provider translating into this struct.
+struct ReplLagBucket {
+  double lo = 0;       // inclusive lower bound (simulated seconds)
+  double hi = 0;       // exclusive upper bound; HUGE_VAL for overflow
+  int64_t count = 0;
+};
+
 struct ReplMetricsSnapshot {
   int64_t records_scanned = 0;
   int64_t changes_enqueued = 0;
@@ -47,6 +55,11 @@ struct ReplMetricsSnapshot {
   double latency_avg = 0;
   double latency_max = 0;
   int64_t latency_count = 0;
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
+  /// Non-empty commit→apply lag buckets (sys.dm_repl_lag_histogram).
+  std::vector<ReplLagBucket> lag_buckets;
 };
 
 /// One entry of the per-query trace ring (sys.dm_exec_requests): the last N
@@ -61,14 +74,28 @@ struct QueryTrace {
   double measured_cost = 0;   // local + remote cost actually charged
   ExecStats stats;            // full per-statement measurement
   int64_t rows_returned = 0;
+  double elapsed_seconds = 0;  // real wall-clock time for the statement
 };
 
 /// Per-statement-text rollup (sys.dm_exec_query_stats), aggregated over all
 /// executions since server start. Keyed the same way as the trace text.
+/// `latency` buckets real elapsed seconds per execution — the p50/p95/p99
+/// columns come from here, replacing what used to be avg/max-only scalars.
 struct StatementRollup {
   int64_t executions = 0;
   ExecStats totals;
   int64_t rows_returned = 0;
+  LogHistogram latency;
+};
+
+/// One retained query profile (sys.dm_exec_query_profiles): the full
+/// per-operator actuals tree for a profiled execution (EXPLAIN ANALYZE or
+/// SET STATISTICS PROFILE ON).
+struct QueryProfileRecord {
+  int64_t query_id = 0;
+  std::string text;
+  double total_seconds = 0;
+  OperatorProfile root;
 };
 
 /// Central per-server counter aggregation: the single place the DMV layer
@@ -87,6 +114,24 @@ class MetricsRegistry {
   /// oldest entry past capacity) and folds the measurement into the
   /// per-statement rollup. Assigns and returns the query id. Thread-safe.
   int64_t RecordStatement(QueryTrace trace);
+
+  /// Retains a profiled execution's operator tree in the profile ring
+  /// (capacity-bounded, oldest evicted). Thread-safe.
+  void RecordProfile(QueryProfileRecord profile);
+  std::vector<QueryProfileRecord> SnapshotProfiles() const {
+    std::lock_guard<SpinLock> guard(ring_lock_);
+    return std::vector<QueryProfileRecord>(profiles_.begin(), profiles_.end());
+  }
+
+  /// Server-wide profiling switch (in addition to the per-session
+  /// SET STATISTICS PROFILE). One relaxed load on the SELECT path when off.
+  bool profiling_enabled() const { return profiling_enabled_.load() != 0; }
+  void set_profiling_enabled(bool on) { profiling_enabled_.store(on ? 1 : 0); }
+
+  /// Trace-ring entries silently evicted since startup (capacity overflow
+  /// or capacity shrink); surfaced as dm_exec_requests.entries_dropped so
+  /// consumers can tell the window truncated.
+  int64_t entries_dropped() const { return entries_dropped_.load(); }
 
   /// Direct references into the ring/rollups — only valid while no other
   /// thread is executing statements (single-threaded tests, post-run
@@ -112,7 +157,10 @@ class MetricsRegistry {
   void set_trace_capacity(size_t n) {
     std::lock_guard<SpinLock> guard(ring_lock_);
     trace_capacity_ = n;
-    while (trace_.size() > trace_capacity_) trace_.pop_front();
+    while (trace_.size() > trace_capacity_) {
+      trace_.pop_front();
+      ++entries_dropped_;
+    }
   }
   size_t trace_capacity() const { return trace_capacity_; }
 
@@ -127,11 +175,16 @@ class MetricsRegistry {
   }
 
  private:
-  mutable SpinLock ring_lock_;  // guards trace_, rollups_, next_query_id_
+  // Guards trace_, rollups_, next_query_id_, profiles_.
+  mutable SpinLock ring_lock_;
   std::deque<QueryTrace> trace_;
   size_t trace_capacity_ = 32;
   int64_t next_query_id_ = 1;
   std::map<std::string, StatementRollup> rollups_;
+  std::deque<QueryProfileRecord> profiles_;
+  size_t profile_capacity_ = 16;
+  RelaxedInt64 entries_dropped_;
+  RelaxedInt64 profiling_enabled_;
   ReplMetricsProvider repl_provider_;
 };
 

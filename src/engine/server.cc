@@ -1,9 +1,13 @@
 #include "engine/server.h"
 
+#include <chrono>
+#include <cstdio>
 #include <mutex>
 #include <shared_mutex>
 
 #include "common/string_util.h"
+#include "common/trace.h"
+#include "common/wait_stats.h"
 #include "engine/view_util.h"
 #include "opt/cost_model.h"
 #include "opt/view_matching.h"
@@ -65,7 +69,7 @@ Server::Server(ServerOptions options, SimClock* clock,
 
 void Server::set_optimizer_options(const OptimizerOptions& opts) {
   {
-    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    ExclusiveLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheExclusive);
     options_.optimizer = opts;
     // Epoch-based invalidation: drop the cache's references and bump the
     // generation. Sessions executing a dropped plan hold their own
@@ -81,7 +85,7 @@ void Server::set_optimizer_options(const OptimizerOptions& opts) {
 
 void Server::InvalidatePlanCache() {
   {
-    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    ExclusiveLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheExclusive);
     statement_plan_cache_.clear();
     for (auto& [name, proc] : procedure_cache_) proc.plans.clear();
     ++plan_cache_generation_;
@@ -90,7 +94,7 @@ void Server::InvalidatePlanCache() {
 }
 
 OptimizerOptions Server::SnapshotOptimizerOptions() const {
-  std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+  SharedLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheShared);
   return options_.optimizer;
 }
 
@@ -131,7 +135,7 @@ StatusOr<std::vector<Row>> Server::VirtualTableRows(const std::string& name) {
   src.catalog = &db_.catalog();
   src.now = db_.Now();
   {
-    std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+    SharedLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheShared);
     src.cached_statements = static_cast<int64_t>(statement_plan_cache_.size());
     for (const auto& [proc_name, proc] : procedure_cache_) {
       src.cached_procedure_plans += static_cast<int64_t>(proc.plans.size());
@@ -226,17 +230,68 @@ StatusOr<QueryResult> Server::CallProcedure(const std::string& name,
   return result;
 }
 
+namespace {
+
+// Maps a DML statement onto the SELECT whose plan shows its row access path
+// (the read side of the write): `SELECT * FROM t [WHERE ...]`. The returned
+// StmtPtr owns the synthesized AST; callers downcast it to SelectStmt.
+StatusOr<StmtPtr> SynthesizeAccessPath(const std::string& table,
+                                       const Expr* where) {
+  std::string sql = "SELECT * FROM " + table;
+  if (where != nullptr) sql += " WHERE " + ExprToSql(*where);
+  return ParseSql(sql);
+}
+
+// Resolves an EXPLAIN target to the SELECT to plan. For DML the access-path
+// SELECT is synthesized (owned by `*synthesized`); INSERT ... VALUES has no
+// read side, so its target table is scanned plan-less (`select` = null).
+StatusOr<const SelectStmt*> ResolveExplainSelect(const Stmt& stmt,
+                                                 StmtPtr* synthesized) {
+  switch (stmt.kind) {
+    case StmtKind::kSelect:
+      return static_cast<const SelectStmt*>(&stmt);
+    case StmtKind::kInsert: {
+      const auto& ins = static_cast<const InsertStmt&>(stmt);
+      if (ins.select != nullptr) return ins.select.get();
+      return static_cast<const SelectStmt*>(nullptr);
+    }
+    case StmtKind::kUpdate: {
+      const auto& upd = static_cast<const UpdateStmt&>(stmt);
+      MT_ASSIGN_OR_RETURN(*synthesized,
+                          SynthesizeAccessPath(upd.table, upd.where.get()));
+      return static_cast<const SelectStmt*>(synthesized->get());
+    }
+    case StmtKind::kDelete: {
+      const auto& del = static_cast<const DeleteStmt&>(stmt);
+      MT_ASSIGN_OR_RETURN(*synthesized,
+                          SynthesizeAccessPath(del.table, del.where.get()));
+      return static_cast<const SelectStmt*>(synthesized->get());
+    }
+    default:
+      return Status::InvalidArgument(
+          "EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE");
+  }
+}
+
+}  // namespace
+
 StatusOr<OptimizeResult> Server::Explain(const std::string& sql) {
   MT_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
-  if (stmt->kind != StmtKind::kSelect) {
-    return Status::InvalidArgument("EXPLAIN supports only SELECT");
+  StmtPtr synthesized;
+  MT_ASSIGN_OR_RETURN(const SelectStmt* select,
+                      ResolveExplainSelect(*stmt, &synthesized));
+  if (select == nullptr) {
+    // INSERT ... VALUES: explain the target table's access path so the
+    // write-path plan is still inspectable.
+    const auto& ins = static_cast<const InsertStmt&>(*stmt);
+    MT_ASSIGN_OR_RETURN(synthesized, SynthesizeAccessPath(ins.table, nullptr));
+    select = static_cast<const SelectStmt*>(synthesized.get());
   }
-  const auto& select = static_cast<const SelectStmt&>(*stmt);
   Binder binder = MakeBinder();
-  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(select));
+  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(*select));
   OptimizerOptions opts = SnapshotOptimizerOptions();
-  if (select.max_staleness >= 0) {
-    opts.max_staleness = select.max_staleness;
+  if (select->max_staleness >= 0) {
+    opts.max_staleness = select->max_staleness;
     opts.current_time = db_.Now();
   }
   Optimizer optimizer(&db_.catalog(), opts);
@@ -254,6 +309,11 @@ StatusOr<QueryResult> Server::ExecuteRemote(const std::string& server_name,
   if (target == nullptr) {
     return Status::NotFound("unknown linked server: " + server_name);
   }
+  // One span per backend hop: the gap between this span and its parent's
+  // local work is exactly the mid-tier round-trip the paper's §6 measures.
+  SpanScope span("remote_roundtrip",
+                 TraceRecorder::Global().enabled() ? server_name + ": " + sql
+                                                   : std::string());
   ExecStats callee;
   MT_ASSIGN_OR_RETURN(QueryResult result,
                       target->Execute(sql, params, &callee));
@@ -339,6 +399,14 @@ Status Server::ExecuteStmt(const Stmt& stmt, Session* session,
       session->vars[set.var] = std::move(v);
       return Status::Ok();
     }
+    case StmtKind::kSetOption: {
+      const auto& set = static_cast<const SetOptionStmt&>(stmt);
+      if (set.option == "statistics profile") {
+        session->stats_profile = set.on;
+        return Status::Ok();
+      }
+      return Status::InvalidArgument("unknown SET option: " + set.option);
+    }
     case StmtKind::kIf:
       return ExecIf(static_cast<const IfStmt&>(stmt), session, stats, proc);
     case StmtKind::kWhile: {
@@ -403,7 +471,8 @@ StatusOr<Server::CachedPlanPtr> Server::PlanSelect(
   int64_t generation_at_lookup = 0;
   size_t proc_plan_count = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+    SpanScope lookup_span("plan_cache_lookup");
+    SharedLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheShared);
     generation_at_lookup = plan_cache_generation_;
     if (cacheable && proc != nullptr) {
       proc_plan_count = proc->plans.size();
@@ -429,6 +498,9 @@ StatusOr<Server::CachedPlanPtr> Server::PlanSelect(
   }
   // Optimize with no lock held: optimization is the expensive part, and
   // serializing it behind the cache lock would defeat concurrent sessions.
+  // The span covers bind+optimize (and the cheap publish below).
+  SpanScope optimize_span(
+      "optimize", TraceRecorder::Global().enabled() ? cache_key : std::string());
   Binder binder = MakeBinder();
   MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(stmt));
   OptimizerOptions opts = SnapshotOptimizerOptions();
@@ -457,7 +529,7 @@ StatusOr<Server::CachedPlanPtr> Server::PlanSelect(
   cached.plan = std::move(optimized.plan);
   CachedPlanPtr plan = std::make_shared<const CachedPlan>(std::move(cached));
   if (cacheable && (proc != nullptr || !cache_key.empty())) {
-    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    ExclusiveLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheExclusive);
     if (plan_cache_generation_ != generation_at_lookup) {
       // An invalidation ran while we were optimizing: our plan may reflect
       // pre-invalidation statistics or options. Execute it this once, but
@@ -481,6 +553,12 @@ StatusOr<Server::CachedPlanPtr> Server::PlanSelect(
 Status Server::ExecSelect(const SelectStmt& stmt, Session* session,
                           ExecStats* stats, CompiledProcedure* proc,
                           const std::string& text) {
+  // Root span for the whole statement; children (plan_cache_lookup, optimize,
+  // execute, remote_roundtrip) attach through the thread-local span stack.
+  // The ternaries avoid building detail strings when tracing is off.
+  TraceRecorder& tracer = TraceRecorder::Global();
+  SpanScope query_span("query", tracer.enabled() ? text : std::string());
+  const auto wall_start = std::chrono::steady_clock::now();
   // The shared_ptr keeps the plan alive for the whole execution even if the
   // cache is invalidated (and cleared) concurrently.
   MT_ASSIGN_OR_RETURN(CachedPlanPtr cached,
@@ -489,10 +567,23 @@ Status Server::ExecSelect(const SelectStmt& stmt, Session* session,
   // statement's cost, then fold it into the caller's totals.
   ExecStats stmt_stats;
   ExecContext ctx = MakeContext(session, &stmt_stats);
-  auto result_or = ExecutePlan(*cached->plan, &ctx);
+  // Profiled when the session asked (SET STATISTICS PROFILE ON) or the
+  // server-wide switch is up; off = one relaxed load, no decorators built.
+  const bool profiled = session->stats_profile || metrics_.profiling_enabled();
+  OperatorProfile profile;
+  if (profiled) profile = MakeProfileTree(*cached->plan);
+  auto result_or = [&]() -> StatusOr<QueryResult> {
+    SpanScope exec_span("execute",
+                        tracer.enabled() ? cached->label : std::string());
+    return ExecutePlan(*cached->plan, &ctx, profiled ? &profile : nullptr);
+  }();
   if (stats != nullptr) stats->Add(stmt_stats);
   if (!result_or.ok()) return result_or.status();
   QueryResult result = result_or.ConsumeValue();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   QueryTrace trace;
   trace.text = cached->label;
@@ -504,7 +595,16 @@ Status Server::ExecSelect(const SelectStmt& stmt, Session* session,
   trace.measured_cost = stmt_stats.local_cost + stmt_stats.remote_cost;
   trace.stats = stmt_stats;
   trace.rows_returned = static_cast<int64_t>(result.rows.size());
-  metrics_.RecordStatement(std::move(trace));
+  trace.elapsed_seconds = elapsed;
+  const int64_t query_id = metrics_.RecordStatement(std::move(trace));
+  if (profiled) {
+    QueryProfileRecord rec;
+    rec.query_id = query_id;
+    rec.text = cached->label;
+    rec.total_seconds = elapsed;
+    rec.root = std::move(profile);
+    metrics_.RecordProfile(std::move(rec));
+  }
   if (!stmt.into_vars.empty()) {
     // Scalar assignment: bind the first row's values to the variables. With
     // no rows the variables keep their previous values (T-SQL semantics).
@@ -542,7 +642,7 @@ Status Server::DeleteRow(StoredTable* table, RowId rid, Transaction* txn,
                          ExecStats* stats) {
   Row before;
   {
-    std::shared_lock<std::shared_mutex> latch(table->latch());
+    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     before = table->heap().Get(rid);
   }
   MT_RETURN_IF_ERROR(table->Delete(rid, txn));
@@ -559,7 +659,7 @@ Status Server::UpdateRow(StoredTable* table, RowId rid, const Row& new_row,
                          Transaction* txn, ExecStats* stats) {
   Row before;
   {
-    std::shared_lock<std::shared_mutex> latch(table->latch());
+    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     before = table->heap().Get(rid);
   }
   MT_RETURN_IF_ERROR(table->Update(rid, new_row, txn));
@@ -578,7 +678,7 @@ namespace {
 // pk order). Returns -1 when absent. Holds the view's shared latch for the
 // lookup; the caller's subsequent mutation re-latches exclusively.
 RowId FindViewRowByKey(StoredTable* view, const Row& key) {
-  std::shared_lock<std::shared_mutex> latch(view->latch());
+  SharedLatchWait latch(view->latch(), WaitSite::kTableLatchShared);
   if (!view->def().indexes.empty() && view->def().indexes[0].unique) {
     for (auto it = view->index(0).SeekGe(key);
          it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
@@ -728,7 +828,7 @@ StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
       }
     }
     if (stats != nullptr) stats->local_cost += CostModel::kIndexSeekCost;
-    std::shared_lock<std::shared_mutex> latch(table->latch());
+    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     for (auto it = table->index(best_index).SeekGe(prefix_key);
          it.Valid() && BPlusTree::ComparePrefix(it.key(), prefix_key) == 0;
          it.Next()) {
@@ -740,7 +840,7 @@ StatusOr<std::vector<RowId>> Server::FindMatchingRows(StoredTable* table,
     return out;
   }
 
-  std::shared_lock<std::shared_mutex> latch(table->latch());
+  SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
   for (RowId rid = 0; rid < table->heap().slot_count(); ++rid) {
     if (!table->heap().IsLive(rid)) continue;
     if (stats != nullptr) stats->local_cost += CostModel::kSeqRowCost;
@@ -877,7 +977,7 @@ Status Server::ExecUpdate(const UpdateStmt& stmt, Session* session,
     for (RowId rid : *rows) {
       Row old_row;
       {
-        std::shared_lock<std::shared_mutex> latch(table->latch());
+        SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
         old_row = table->heap().Get(rid);
       }
       Row new_row = old_row;
@@ -1041,7 +1141,7 @@ Status Server::ExecCreateView(const CreateViewStmt& stmt, Session* session,
     // so we never hold it while taking the view table's exclusive latch.
     std::vector<Row> projected_rows;
     {
-      std::shared_lock<std::shared_mutex> latch(base_table->latch());
+      SharedLatchWait latch(base_table->latch(), WaitSite::kTableLatchShared);
       for (RowId rid = 0; rid < base_table->heap().slot_count(); ++rid) {
         if (!base_table->heap().IsLive(rid)) continue;
         const Row& row = base_table->heap().Get(rid);
@@ -1079,7 +1179,7 @@ Status Server::ExecCreateProcedure(const CreateProcedureStmt& stmt) {
   def.body_source = stmt.body_source;
   MT_RETURN_IF_ERROR(db_.catalog().CreateProcedure(std::move(def)));
   {
-    std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+    ExclusiveLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheExclusive);
     procedure_cache_.erase(stmt.name);
   }
   return Status::Ok();
@@ -1136,7 +1236,7 @@ Status Server::ExecDrop(const DropStmt& stmt) {
     case DropKind::kProcedure: {
       MT_RETURN_IF_ERROR(db_.catalog().DropProcedure(stmt.name));
       {
-        std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+        ExclusiveLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheExclusive);
         procedure_cache_.erase(stmt.name);
       }
       break;
@@ -1183,34 +1283,161 @@ Status Server::ExecGrant(const GrantStmt& stmt) {
   return Status::Ok();
 }
 
-Status Server::ExecExplain(const ExplainStmt& stmt, Session* session) {
-  Binder binder = MakeBinder();
-  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(*stmt.select));
-  OptimizerOptions opts = SnapshotOptimizerOptions();
-  if (stmt.select->max_staleness >= 0) {
-    opts.max_staleness = stmt.select->max_staleness;
-    opts.current_time = db_.Now();
+namespace {
+
+// Renders one profile node per output row: two-space indent per plan depth,
+// actual row counts, per-phase timings (ms), and the memory high-water mark.
+void AppendProfileLines(const OperatorProfile& prof, int depth,
+                        std::vector<Row>* rows) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += prof.op_name;
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                " [est_rows=%.0f actual_rows=%lld opens=%lld next=%lld"
+                " open=%.3fms next=%.3fms close=%.3fms mem=%lldB]",
+                prof.est_rows, static_cast<long long>(prof.actual_rows),
+                static_cast<long long>(prof.opens),
+                static_cast<long long>(prof.next_calls),
+                prof.open_seconds * 1e3, prof.next_seconds * 1e3,
+                prof.close_seconds * 1e3,
+                static_cast<long long>(prof.mem_peak_bytes));
+  line += buf;
+  rows->push_back({Value::String(std::move(line))});
+  for (const OperatorProfile& child : prof.children) {
+    AppendProfileLines(child, depth + 1, rows);
   }
-  Optimizer optimizer(&db_.catalog(), opts);
-  MT_ASSIGN_OR_RETURN(OptimizeResult optimized, optimizer.Optimize(*logical));
+}
+
+}  // namespace
+
+Status Server::ExecExplain(const ExplainStmt& stmt, Session* session) {
   QueryResult result;
   ColumnInfo col;
   col.name = "plan";
   col.type = TypeId::kString;
   result.schema.AddColumn(std::move(col));
-  // One row per plan line, plus a summary row.
-  std::string text = PhysicalToString(*optimized.plan);
-  size_t start = 0;
-  while (start < text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    result.rows.push_back({Value::String(text.substr(start, end - start))});
-    start = end + 1;
+
+  // Write-side annotation rows for DML targets: forwarding for shadow
+  // tables, index maintenance, and view maintenance (synchronous for
+  // materialized views, asynchronous via replication for cached views).
+  std::vector<std::string> annotations;
+  auto annotate_target = [&](const std::string& table,
+                             const std::string& forwarded_sql) {
+    TableDef* def = db_.catalog().GetTable(table);
+    if (def == nullptr) return;
+    if (def->shadow) {
+      annotations.push_back("forwarded to backend as: " + forwarded_sql);
+      return;
+    }
+    if (!def->indexes.empty()) {
+      annotations.push_back("index maintenance: " +
+                            std::to_string(def->indexes.size()) +
+                            " index(es)");
+    }
+    for (const TableDef* view : db_.catalog().ViewsOver(table)) {
+      annotations.push_back(
+          view->kind == RelationKind::kMaterializedView
+              ? "maintains view: " + view->name + " (synchronous)"
+              : "maintains view: " + view->name + " (via replication)");
+    }
+  };
+  switch (stmt.target->kind) {
+    case StmtKind::kInsert: {
+      const auto& ins = static_cast<const InsertStmt&>(*stmt.target);
+      if (ins.select == nullptr) {
+        annotations.push_back("Insert(" + ins.table + ") VALUES: " +
+                              std::to_string(ins.rows.size()) + " row(s)");
+      } else {
+        annotations.push_back("write: Insert(" + ins.table + ") from SELECT");
+      }
+      annotate_target(ins.table, InsertToSql(ins));
+      break;
+    }
+    case StmtKind::kUpdate: {
+      const auto& upd = static_cast<const UpdateStmt&>(*stmt.target);
+      annotations.push_back("write: Update(" + upd.table + ", " +
+                            std::to_string(upd.sets.size()) + " column(s))");
+      annotate_target(upd.table, UpdateToSql(upd));
+      break;
+    }
+    case StmtKind::kDelete: {
+      const auto& del = static_cast<const DeleteStmt&>(*stmt.target);
+      annotations.push_back("write: Delete(" + del.table + ")");
+      annotate_target(del.table, DeleteToSql(del));
+      break;
+    }
+    default:
+      break;
   }
-  result.rows.push_back({Value::String(
-      "estimated cost: " + std::to_string(optimized.est_cost) +
-      ", dynamic: " + (optimized.dynamic_plan ? "yes" : "no") +
-      ", remote: " + (optimized.uses_remote ? "yes" : "no"))});
+
+  StmtPtr synthesized;
+  MT_ASSIGN_OR_RETURN(const SelectStmt* select,
+                      ResolveExplainSelect(*stmt.target, &synthesized));
+  if (select == nullptr) {
+    // INSERT ... VALUES: no read side to plan; the annotations are the plan.
+    for (const std::string& note : annotations) {
+      result.rows.push_back({Value::String(note)});
+    }
+    session->result = std::move(result);
+    session->has_result = true;
+    return Status::Ok();
+  }
+
+  Binder binder = MakeBinder();
+  MT_ASSIGN_OR_RETURN(LogicalPtr logical, binder.BindSelect(*select));
+  OptimizerOptions opts = SnapshotOptimizerOptions();
+  if (select->max_staleness >= 0) {
+    opts.max_staleness = select->max_staleness;
+    opts.current_time = db_.Now();
+  }
+  Optimizer optimizer(&db_.catalog(), opts);
+  MT_ASSIGN_OR_RETURN(OptimizeResult optimized, optimizer.Optimize(*logical));
+
+  if (stmt.analyze) {
+    // EXPLAIN ANALYZE: run the plan for real under the profiler and render
+    // per-operator actuals. The parser guarantees the target is a SELECT.
+    OperatorProfile profile = MakeProfileTree(*optimized.plan);
+    ExecStats exec_stats;
+    ExecContext ctx = MakeContext(session, &exec_stats);
+    SpanScope span("explain_analyze");
+    const auto start = std::chrono::steady_clock::now();
+    MT_ASSIGN_OR_RETURN(QueryResult executed,
+                        ExecutePlan(*optimized.plan, &ctx, &profile));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    AppendProfileLines(profile, 0, &result.rows);
+    char summary[160];
+    std::snprintf(summary, sizeof(summary),
+                  "actual: %lld rows in %.3f ms, estimated cost: %.2f, "
+                  "dynamic: %s, remote: %s",
+                  static_cast<long long>(executed.rows.size()), elapsed * 1e3,
+                  optimized.est_cost, optimized.dynamic_plan ? "yes" : "no",
+                  optimized.uses_remote ? "yes" : "no");
+    result.rows.push_back({Value::String(summary)});
+    QueryProfileRecord rec;
+    rec.text = "(explain analyze)";
+    rec.total_seconds = elapsed;
+    rec.root = std::move(profile);
+    metrics_.RecordProfile(std::move(rec));
+  } else {
+    // One row per plan line, plus a summary row.
+    std::string text = PhysicalToString(*optimized.plan);
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      result.rows.push_back({Value::String(text.substr(start, end - start))});
+      start = end + 1;
+    }
+    result.rows.push_back({Value::String(
+        "estimated cost: " + std::to_string(optimized.est_cost) +
+        ", dynamic: " + (optimized.dynamic_plan ? "yes" : "no") +
+        ", remote: " + (optimized.uses_remote ? "yes" : "no"))});
+  }
+  for (const std::string& note : annotations) {
+    result.rows.push_back({Value::String(note)});
+  }
   session->result = std::move(result);
   session->has_result = true;
   return Status::Ok();
@@ -1226,7 +1453,7 @@ StatusOr<Server::CompiledProcedure*> Server::CompileProcedure(
   // insertions of other procedures; entries are only erased by DDL, which is
   // setup-only.
   {
-    std::shared_lock<std::shared_mutex> lock(plan_cache_mu_);
+    SharedLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheShared);
     auto it = procedure_cache_.find(name);
     if (it != procedure_cache_.end()) return &it->second;
   }
@@ -1238,7 +1465,7 @@ StatusOr<Server::CompiledProcedure*> Server::CompileProcedure(
   CompiledProcedure proc;
   proc.def = def;
   MT_ASSIGN_OR_RETURN(proc.body, ParseSqlScript(def->body_source));
-  std::unique_lock<std::shared_mutex> lock(plan_cache_mu_);
+  ExclusiveLatchWait lock(plan_cache_mu_, WaitSite::kPlanCacheExclusive);
   auto [inserted_it, ok] = procedure_cache_.emplace(name, std::move(proc));
   return &inserted_it->second;
 }

@@ -30,6 +30,10 @@ struct Session {
   QueryResult result;
   bool has_result = false;
   bool return_requested = false;
+  /// SET STATISTICS PROFILE ON: SELECTs on this session run under the
+  /// per-operator profiler and publish into sys.dm_exec_query_profiles.
+  /// Connection-scoped like `vars`, so it survives ResetForBatch.
+  bool stats_profile = false;
 
   /// Clears the per-statement outputs before a new top-level batch; local
   /// variables and an open transaction survive across batches (that is the

@@ -1,12 +1,14 @@
 #include "exec/exec.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/wait_stats.h"
 #include "opt/cost_model.h"
 
 namespace mtcache {
@@ -17,6 +19,12 @@ Row ConcatRows(const Row& left, const Row& right) {
   Row out = left;
   out.insert(out.end(), right.begin(), right.end());
   return out;
+}
+
+int64_t RowsBytes(const std::vector<Row>& rows) {
+  double bytes = 0;
+  for (const Row& r : rows) bytes += RowSizeBytes(r);
+  return static_cast<int64_t>(bytes);
 }
 
 struct RowHasher {
@@ -83,7 +91,7 @@ class SeqScanExec : public ExecNode {
     if (table == nullptr) {
       return Status::Internal("no storage for table " + op_.def->name);
     }
-    std::shared_lock<std::shared_mutex> latch(table->latch());
+    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     const HeapTable& heap = table->heap();
     rows_.reserve(heap.live_count());
     for (RowId rid = 0; rid < heap.slot_count(); ++rid) {
@@ -110,6 +118,8 @@ class SeqScanExec : public ExecNode {
   }
 
   void Close() override { rows_.clear(); }
+
+  int64_t MemoryBytes() const override { return RowsBytes(rows_); }
 
  private:
   const PhysSeqScan& op_;
@@ -159,7 +169,7 @@ class IndexSeekExec : public ExecNode {
 
     // Walk the in-range index entries and copy the live rows out under one
     // shared latch; the iterator never survives past this block.
-    std::shared_lock<std::shared_mutex> latch(table->latch());
+    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     const BPlusTree& index = table->index(op_.index_ordinal);
     BPlusTree::Iterator it;
     if (op_.lo != nullptr) {
@@ -203,6 +213,8 @@ class IndexSeekExec : public ExecNode {
   }
 
   void Close() override { rows_.clear(); }
+
+  int64_t MemoryBytes() const override { return RowsBytes(rows_); }
 
  private:
   const PhysIndexSeek& op_;
@@ -375,6 +387,8 @@ class NLJoinExec : public ExecNode {
     inner_.clear();
   }
 
+  int64_t MemoryBytes() const override { return RowsBytes(inner_); }
+
  private:
   const PhysNLJoin& op_;
   std::unique_ptr<ExecNode> left_;
@@ -422,7 +436,8 @@ class IndexNLJoinExec : public ExecNode {
           Row seek_key{key};
           int64_t entries = 0;
           {
-            std::shared_lock<std::shared_mutex> latch(table_->latch());
+            SharedLatchWait latch(table_->latch(),
+                                  WaitSite::kTableLatchShared);
             for (auto it = table_->index(op_.index_ordinal).SeekGe(seek_key);
                  it.Valid() &&
                  BPlusTree::ComparePrefix(it.key(), seek_key) == 0;
@@ -482,6 +497,8 @@ class IndexNLJoinExec : public ExecNode {
     outer_->Close();
     matches_.clear();
   }
+
+  int64_t MemoryBytes() const override { return RowsBytes(matches_); }
 
  private:
   const PhysIndexNLJoin& op_;
@@ -589,6 +606,15 @@ class HashJoinExec : public ExecNode {
   void Close() override {
     probe_->Close();
     table_.clear();
+  }
+
+  int64_t MemoryBytes() const override {
+    double bytes = 0;
+    for (const auto& [key, rows] : table_) {
+      bytes += RowSizeBytes(key);
+      for (const Row& r : rows) bytes += RowSizeBytes(r);
+    }
+    return static_cast<int64_t>(bytes);
   }
 
  private:
@@ -709,6 +735,15 @@ class HashAggregateExec : public ExecNode {
     return true;
   }
 
+  int64_t MemoryBytes() const override {
+    double bytes = 0;
+    for (const auto& [key, states] : groups_) {
+      bytes += RowSizeBytes(key);
+      bytes += static_cast<double>(states.size() * sizeof(AggState));
+    }
+    return static_cast<int64_t>(bytes);
+  }
+
  private:
   const PhysHashAggregate& op_;
   std::unique_ptr<ExecNode> child_;
@@ -767,6 +802,8 @@ class SortExec : public ExecNode {
 
   void Close() override { rows_.clear(); }
 
+  int64_t MemoryBytes() const override { return RowsBytes(rows_); }
+
  private:
   const PhysSort& op_;
   std::unique_ptr<ExecNode> child_;
@@ -823,6 +860,12 @@ class DistinctExec : public ExecNode {
   void Close() override {
     child_->Close();
     seen_.clear();
+  }
+
+  int64_t MemoryBytes() const override {
+    double bytes = 0;
+    for (const Row& r : seen_) bytes += RowSizeBytes(r);
+    return static_cast<int64_t>(bytes);
   }
 
  private:
@@ -901,70 +944,171 @@ class RemoteQueryExec : public ExecNode {
 
   void Close() override { rows_.clear(); }
 
+  int64_t MemoryBytes() const override { return RowsBytes(rows_); }
+
  private:
   const PhysRemoteQuery& op_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };
 
-}  // namespace
+// Timing/counting decorator around any ExecNode, writing into its mirrored
+// OperatorProfile node. Timings are recursive (a parent's Next time includes
+// its children's); EXPLAIN ANALYZE renders them as-is, like SQL Server's
+// actual execution plans. Memory is sampled after Open (materialize-at-Open
+// operators peak there) and before Close (operators that accumulate during
+// Next, e.g. Distinct), which brackets every operator's high-water mark
+// without per-row O(n) walks.
+class ProfiledNode : public ExecNode {
+ public:
+  ProfiledNode(std::unique_ptr<ExecNode> inner, OperatorProfile* prof)
+      : inner_(std::move(inner)), prof_(prof) {}
 
-StatusOr<std::unique_ptr<ExecNode>> BuildExecutor(const PhysicalOp& plan) {
+  Status Open(ExecContext* ctx) override {
+    ++prof_->opens;
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = inner_->Open(ctx);
+    prof_->open_seconds += Elapsed(t0);
+    SampleMemory();
+    return s;
+  }
+
+  StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
+    ++prof_->next_calls;
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<bool> more = inner_->Next(ctx, row);
+    prof_->next_seconds += Elapsed(t0);
+    if (more.ok() && more.value()) ++prof_->actual_rows;
+    return more;
+  }
+
+  void Close() override {
+    SampleMemory();
+    auto t0 = std::chrono::steady_clock::now();
+    inner_->Close();
+    prof_->close_seconds += Elapsed(t0);
+  }
+
+  int64_t MemoryBytes() const override { return inner_->MemoryBytes(); }
+
+ private:
+  static double Elapsed(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+  void SampleMemory() {
+    int64_t bytes = inner_->MemoryBytes();
+    if (bytes > prof_->mem_peak_bytes) prof_->mem_peak_bytes = bytes;
+  }
+
+  std::unique_ptr<ExecNode> inner_;
+  OperatorProfile* prof_;
+};
+
+// Shared builder: compiles children first (wrapped when profiling), then the
+// node itself. `profile` mirrors `plan` (same shape) or is null.
+StatusOr<std::unique_ptr<ExecNode>> BuildNode(const PhysicalOp& plan,
+                                              OperatorProfile* profile) {
   std::vector<std::unique_ptr<ExecNode>> children;
-  for (const auto& child : plan.children) {
-    MT_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node, BuildExecutor(*child));
+  for (size_t i = 0; i < plan.children.size(); ++i) {
+    OperatorProfile* child_prof =
+        profile != nullptr ? &profile->children[i] : nullptr;
+    MT_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> node,
+                        BuildNode(*plan.children[i], child_prof));
     children.push_back(std::move(node));
   }
+  std::unique_ptr<ExecNode> node;
   switch (plan.kind) {
     case PhysicalKind::kDualScan:
-      return std::unique_ptr<ExecNode>(std::make_unique<DualScanExec>());
+      node = std::make_unique<DualScanExec>();
+      break;
     case PhysicalKind::kSeqScan:
-      return std::unique_ptr<ExecNode>(
-          std::make_unique<SeqScanExec>(static_cast<const PhysSeqScan&>(plan)));
+      node = std::make_unique<SeqScanExec>(
+          static_cast<const PhysSeqScan&>(plan));
+      break;
     case PhysicalKind::kIndexSeek:
-      return std::unique_ptr<ExecNode>(std::make_unique<IndexSeekExec>(
-          static_cast<const PhysIndexSeek&>(plan)));
+      node = std::make_unique<IndexSeekExec>(
+          static_cast<const PhysIndexSeek&>(plan));
+      break;
     case PhysicalKind::kFilter:
-      return std::unique_ptr<ExecNode>(std::make_unique<FilterExec>(
-          static_cast<const PhysFilter&>(plan), std::move(children[0])));
+      node = std::make_unique<FilterExec>(static_cast<const PhysFilter&>(plan),
+                                          std::move(children[0]));
+      break;
     case PhysicalKind::kProject:
-      return std::unique_ptr<ExecNode>(std::make_unique<ProjectExec>(
-          static_cast<const PhysProject&>(plan), std::move(children[0])));
+      node = std::make_unique<ProjectExec>(
+          static_cast<const PhysProject&>(plan), std::move(children[0]));
+      break;
     case PhysicalKind::kNLJoin:
-      return std::unique_ptr<ExecNode>(std::make_unique<NLJoinExec>(
-          static_cast<const PhysNLJoin&>(plan), std::move(children[0]),
-          std::move(children[1])));
+      node = std::make_unique<NLJoinExec>(static_cast<const PhysNLJoin&>(plan),
+                                          std::move(children[0]),
+                                          std::move(children[1]));
+      break;
     case PhysicalKind::kIndexNLJoin:
-      return std::unique_ptr<ExecNode>(std::make_unique<IndexNLJoinExec>(
-          static_cast<const PhysIndexNLJoin&>(plan), std::move(children[0])));
+      node = std::make_unique<IndexNLJoinExec>(
+          static_cast<const PhysIndexNLJoin&>(plan), std::move(children[0]));
+      break;
     case PhysicalKind::kHashJoin:
-      return std::unique_ptr<ExecNode>(std::make_unique<HashJoinExec>(
+      node = std::make_unique<HashJoinExec>(
           static_cast<const PhysHashJoin&>(plan), std::move(children[0]),
-          std::move(children[1])));
+          std::move(children[1]));
+      break;
     case PhysicalKind::kHashAggregate:
-      return std::unique_ptr<ExecNode>(std::make_unique<HashAggregateExec>(
-          static_cast<const PhysHashAggregate&>(plan), std::move(children[0])));
+      node = std::make_unique<HashAggregateExec>(
+          static_cast<const PhysHashAggregate&>(plan), std::move(children[0]));
+      break;
     case PhysicalKind::kSort:
-      return std::unique_ptr<ExecNode>(std::make_unique<SortExec>(
-          static_cast<const PhysSort&>(plan), std::move(children[0])));
+      node = std::make_unique<SortExec>(static_cast<const PhysSort&>(plan),
+                                        std::move(children[0]));
+      break;
     case PhysicalKind::kLimit:
-      return std::unique_ptr<ExecNode>(std::make_unique<LimitExec>(
-          static_cast<const PhysLimit&>(plan), std::move(children[0])));
+      node = std::make_unique<LimitExec>(static_cast<const PhysLimit&>(plan),
+                                         std::move(children[0]));
+      break;
     case PhysicalKind::kDistinct:
-      return std::unique_ptr<ExecNode>(
-          std::make_unique<DistinctExec>(std::move(children[0])));
+      node = std::make_unique<DistinctExec>(std::move(children[0]));
+      break;
     case PhysicalKind::kUnionAll:
-      return std::unique_ptr<ExecNode>(
-          std::make_unique<UnionAllExec>(std::move(children)));
+      node = std::make_unique<UnionAllExec>(std::move(children));
+      break;
     case PhysicalKind::kRemoteQuery:
-      return std::unique_ptr<ExecNode>(std::make_unique<RemoteQueryExec>(
-          static_cast<const PhysRemoteQuery&>(plan)));
+      node = std::make_unique<RemoteQueryExec>(
+          static_cast<const PhysRemoteQuery&>(plan));
+      break;
   }
-  return Status::Internal("unhandled physical operator");
+  if (node == nullptr) return Status::Internal("unhandled physical operator");
+  if (profile != nullptr) {
+    node = std::make_unique<ProfiledNode>(std::move(node), profile);
+  }
+  return node;
 }
 
-StatusOr<QueryResult> ExecutePlan(const PhysicalOp& plan, ExecContext* ctx) {
-  MT_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root, BuildExecutor(plan));
+}  // namespace
+
+OperatorProfile MakeProfileTree(const PhysicalOp& plan) {
+  OperatorProfile prof;
+  prof.op_name = PhysicalOpLabel(plan);
+  prof.est_rows = plan.est_rows;
+  prof.est_cost = plan.est_cost;
+  prof.children.reserve(plan.children.size());
+  for (const auto& child : plan.children) {
+    prof.children.push_back(MakeProfileTree(*child));
+  }
+  return prof;
+}
+
+StatusOr<std::unique_ptr<ExecNode>> BuildExecutor(const PhysicalOp& plan) {
+  return BuildNode(plan, nullptr);
+}
+
+StatusOr<std::unique_ptr<ExecNode>> BuildProfiledExecutor(
+    const PhysicalOp& plan, OperatorProfile* profile) {
+  return BuildNode(plan, profile);
+}
+
+StatusOr<QueryResult> ExecutePlan(const PhysicalOp& plan, ExecContext* ctx,
+                                  OperatorProfile* profile) {
+  MT_ASSIGN_OR_RETURN(std::unique_ptr<ExecNode> root,
+                      BuildNode(plan, profile));
   MT_RETURN_IF_ERROR(root->Open(ctx));
   QueryResult result;
   result.schema = plan.schema;

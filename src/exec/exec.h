@@ -108,13 +108,48 @@ class ExecNode {
   /// Returns true and fills *row, or false at end of stream.
   virtual StatusOr<bool> Next(ExecContext* ctx, Row* row) = 0;
   virtual void Close() {}
+  /// Current bytes held in operator-private materializations (hash tables,
+  /// sort buffers, scan snapshots). Sampled by the profiler after Open and
+  /// before Close to compute a memory high-water mark; 0 for streaming ops.
+  virtual int64_t MemoryBytes() const { return 0; }
 };
+
+/// Per-operator actuals for one query execution (EXPLAIN ANALYZE /
+/// SET STATISTICS PROFILE). The tree mirrors the physical plan exactly and
+/// is built up front by MakeProfileTree, so node addresses stay stable while
+/// the wrapped executor writes into them. Plain fields: each execution owns
+/// its private tree; snapshots are taken after the query completes.
+struct OperatorProfile {
+  std::string op_name;  // PhysicalOpLabel of the mirrored plan node
+  double est_rows = 0;
+  double est_cost = 0;
+  int64_t actual_rows = 0;  // rows emitted by Next
+  int64_t opens = 0;        // Open calls (inner of a rescanning join > 1)
+  int64_t next_calls = 0;
+  double open_seconds = 0;   // real time inside Open (recursive)
+  double next_seconds = 0;   // real time inside Next (recursive)
+  double close_seconds = 0;  // real time inside Close (recursive)
+  int64_t mem_peak_bytes = 0;
+  std::vector<OperatorProfile> children;
+};
+
+/// Builds an empty profile tree mirroring `plan` (labels + estimates filled,
+/// actuals zero). Pass its root to BuildProfiledExecutor/ExecutePlan.
+OperatorProfile MakeProfileTree(const PhysicalOp& plan);
 
 /// Compiles a physical plan into an executor tree.
 StatusOr<std::unique_ptr<ExecNode>> BuildExecutor(const PhysicalOp& plan);
 
-/// Convenience: build, open, drain, close.
-StatusOr<QueryResult> ExecutePlan(const PhysicalOp& plan, ExecContext* ctx);
+/// As BuildExecutor, but wraps every operator in a timing/counting decorator
+/// writing into the matching OperatorProfile node. `profile` must outlive the
+/// returned executor and must come from MakeProfileTree(plan).
+StatusOr<std::unique_ptr<ExecNode>> BuildProfiledExecutor(
+    const PhysicalOp& plan, OperatorProfile* profile);
+
+/// Convenience: build, open, drain, close. When `profile` is non-null the
+/// executor tree is profiled (per-operator actuals land in the tree).
+StatusOr<QueryResult> ExecutePlan(const PhysicalOp& plan, ExecContext* ctx,
+                                  OperatorProfile* profile = nullptr);
 
 }  // namespace mtcache
 

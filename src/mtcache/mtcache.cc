@@ -58,6 +58,19 @@ StatusOr<std::unique_ptr<MTCache>> MTCache::Setup(Server* cache,
     snap.latency_avg = m.AvgLatency();
     snap.latency_max = m.latency_max;
     snap.latency_count = m.latency_count;
+    snap.latency_p50 = m.lag_histogram.Percentile(0.50);
+    snap.latency_p95 = m.lag_histogram.Percentile(0.95);
+    snap.latency_p99 = m.lag_histogram.Percentile(0.99);
+    // Only occupied buckets cross the boundary: dm_repl_lag_histogram rows.
+    for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+      int64_t count = m.lag_histogram.BucketCount(i);
+      if (count == 0) continue;
+      ReplLagBucket bucket;
+      bucket.lo = LogHistogram::BucketLowerBound(i);
+      bucket.hi = LogHistogram::BucketUpperBound(i);
+      bucket.count = count;
+      snap.lag_buckets.push_back(bucket);
+    }
     return snap;
   });
   return mtcache;

@@ -2,9 +2,7 @@
 
 namespace mtcache {
 
-namespace {
-
-std::string NodeLabel(const PhysicalOp& op) {
+std::string PhysicalOpLabel(const PhysicalOp& op) {
   switch (op.kind) {
     case PhysicalKind::kDualScan:
       return "DualScan";
@@ -57,11 +55,9 @@ std::string NodeLabel(const PhysicalOp& op) {
   return "?";
 }
 
-}  // namespace
-
 std::string PhysicalToString(const PhysicalOp& op, int indent) {
   std::string out(indent * 2, ' ');
-  out += NodeLabel(op);
+  out += PhysicalOpLabel(op);
   out += "  rows=" + std::to_string(static_cast<int64_t>(op.est_rows));
   out += " cost=" + std::to_string(op.est_cost);
   out += "\n";

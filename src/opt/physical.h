@@ -149,6 +149,10 @@ struct PhysRemoteQuery : PhysicalOp {
   std::string sql;
 };
 
+/// Single-node label ("SeqScan(item)", "RemoteQuery[backend](...)"), shared
+/// by EXPLAIN rendering and the per-operator profile tree.
+std::string PhysicalOpLabel(const PhysicalOp& op);
+
 /// Multi-line rendering with per-node estimates, for tests and EXPLAIN.
 std::string PhysicalToString(const PhysicalOp& op, int indent = 0);
 

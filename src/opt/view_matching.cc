@@ -3,6 +3,7 @@
 #include <map>
 #include <optional>
 
+#include "common/trace.h"
 #include "opt/cardinality.h"
 
 namespace mtcache {
@@ -193,6 +194,10 @@ std::vector<ViewMatch> MatchViews(
     // Freshness gate (§7 extension): an asynchronously maintained cached
     // view must be recent enough for the query's staleness budget.
     if (max_staleness >= 0 && view->kind == RelationKind::kCachedView) {
+      SpanScope currency_span("currency_check",
+                              TraceRecorder::Global().enabled()
+                                  ? view->name
+                                  : std::string());
       if (view->freshness_time < 0 ||
           now - view->freshness_time > max_staleness) {
         if (stats != nullptr) ++stats->currency_fallbacks;

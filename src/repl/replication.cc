@@ -4,6 +4,8 @@
 #include <shared_mutex>
 #include <utility>
 
+#include "common/trace.h"
+#include "common/wait_stats.h"
 #include "opt/cost_model.h"
 
 namespace mtcache {
@@ -73,6 +75,12 @@ void ReplicationSystem::RecordFailure(Subscription* sub) {
 Status ReplicationSystem::RunLogReader(Server* publisher,
                                        ExecStats* publisher_stats) {
   if (!log_reader_enabled_) return Status::Ok();
+  // Pipeline stage 1+2 span: WAL pickup and per-commit distribution. The
+  // distributor runs inline here (the kCommit case), so its repl.distribute
+  // spans nest under this one through the thread-local span stack.
+  SpanScope span("repl.log_reader", TraceRecorder::Global().enabled()
+                                        ? publisher->name()
+                                        : std::string());
   auto it = publishers_.find(publisher);
   if (it == publishers_.end()) {
     return Status::NotFound("server is not a registered publisher");
@@ -120,6 +128,10 @@ Status ReplicationSystem::RunLogReader(Server* publisher,
         if (Decide(FaultSite::kDistributeTxn) == FaultAction::kCrash) {
           return Crash("distributor died on txn " + std::to_string(rec.txn));
         }
+        SpanScope distribute_span(
+            "repl.distribute", TraceRecorder::Global().enabled()
+                                   ? "txn " + std::to_string(rec.txn)
+                                   : std::string());
         // Filter and project per subscription (the distributor's job).
         for (auto& [id, sub] : subscriptions_) {
           if (sub->publisher != publisher) continue;
@@ -205,6 +217,12 @@ Status ReplicationSystem::RunLogReader(Server* publisher,
 
 Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
                                    ExecStats* stats) {
+  // Pipeline stage 3 span: subscriber apply of one source transaction.
+  SpanScope span("repl.apply",
+                 TraceRecorder::Global().enabled()
+                     ? sub->target_table + " txn " +
+                           std::to_string(txn.source_txn)
+                     : std::string());
   Database& db = sub->subscriber->db();
   StoredTable* table = db.GetStoredTable(sub->target_table);
   if (table == nullptr) {
@@ -224,7 +242,7 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
     Row key = key_of(image);
     // Shared latch: sessions may be scanning the cached view while the
     // distribution agent applies changes from the replication thread.
-    std::shared_lock<std::shared_mutex> latch(table->latch());
+    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     for (auto it = table->index(0).SeekGe(key);
          it.Valid() && BPlusTree::ComparePrefix(it.key(), key) == 0;
          it.Next()) {
@@ -294,6 +312,7 @@ Status ReplicationSystem::ApplyTxn(Subscription* sub, const PendingTxn& txn,
     metrics_.latency_sum += latency;
     metrics_.latency_max.UpdateMax(latency);
     ++metrics_.latency_count;
+    metrics_.lag_histogram.Record(latency);
   }
   if (Decide(FaultSite::kApplyCommit) == FaultAction::kCrash) {
     // Crash after the local commit but before the delivery is acked: the

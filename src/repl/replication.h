@@ -9,6 +9,7 @@
 
 #include "catalog/view_def.h"
 #include "common/atomics.h"
+#include "common/histogram.h"
 #include "common/sim_clock.h"
 #include "engine/server.h"
 #include "repl/fault.h"
@@ -61,6 +62,9 @@ struct ReplicationMetrics {
   RelaxedDouble latency_sum = 0;        // commit-to-commit, seconds
   RelaxedDouble latency_max = 0;
   RelaxedInt64 latency_count = 0;
+  /// Full commit→apply lag distribution (simulated seconds): the source of
+  /// sys.dm_repl_lag_histogram and the p50/p95/p99 in sys.dm_repl_metrics.
+  LogHistogram lag_histogram;
 
   double AvgLatency() const {
     int64_t n = latency_count;

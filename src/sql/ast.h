@@ -166,6 +166,7 @@ enum class StmtKind {
   kExec,
   kDeclare,
   kSetVar,
+  kSetOption,
   kIf,
   kWhile,
   kReturn,
@@ -320,10 +321,14 @@ struct GrantStmt : Stmt {
   std::string user;
 };
 
-/// EXPLAIN SELECT ...: returns the optimized physical plan as text.
+/// EXPLAIN [ANALYZE] <statement>: returns the optimized physical plan as
+/// text. Targets SELECT, INSERT, UPDATE, or DELETE (write-path plans show
+/// the access path plus forwarding/maintenance annotations). With ANALYZE
+/// the target SELECT is executed and per-operator actuals are reported.
 struct ExplainStmt : Stmt {
   ExplainStmt() : Stmt(StmtKind::kExplain) {}
-  std::unique_ptr<SelectStmt> select;
+  bool analyze = false;
+  StmtPtr target;  // kSelect, kInsert, kUpdate, or kDelete
 };
 
 struct ExecStmt : Stmt {
@@ -343,6 +348,14 @@ struct SetVarStmt : Stmt {
   SetVarStmt() : Stmt(StmtKind::kSetVar) {}
   std::string var;
   ExprPtr value;
+};
+
+/// Session option toggle, T-SQL style: `SET STATISTICS PROFILE ON|OFF`.
+/// `option` is the lower-cased option name ("statistics profile").
+struct SetOptionStmt : Stmt {
+  SetOptionStmt() : Stmt(StmtKind::kSetOption) {}
+  std::string option;
+  bool on = false;
 };
 
 struct IfStmt : Stmt {

@@ -120,7 +120,24 @@ StatusOr<StmtPtr> Parser::ParseStatement() {
   if (CheckIdent("grant") || CheckIdent("revoke")) return ParseGrant();
   if (MatchIdent("explain")) {
     auto stmt = std::make_unique<ExplainStmt>();
-    MT_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+    stmt->analyze = MatchIdent("analyze");
+    MT_ASSIGN_OR_RETURN(stmt->target, ParseStatement());
+    switch (stmt->target->kind) {
+      case StmtKind::kSelect:
+        break;
+      case StmtKind::kInsert:
+      case StmtKind::kUpdate:
+      case StmtKind::kDelete:
+        if (stmt->analyze) {
+          return Status::InvalidArgument(
+              "EXPLAIN ANALYZE supports only SELECT (DML would execute "
+              "twice); use plain EXPLAIN for write-path plans");
+        }
+        break;
+      default:
+        return Status::InvalidArgument(
+            "EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE");
+    }
     return StmtPtr(std::move(stmt));
   }
   if (CheckIdent("exec") || CheckIdent("execute")) return ParseExec();
@@ -627,6 +644,20 @@ StatusOr<StmtPtr> Parser::ParseDeclare() {
 
 StatusOr<StmtPtr> Parser::ParseSet() {
   MT_RETURN_IF_ERROR(ExpectIdent("set"));
+  // T-SQL session option form: SET STATISTICS PROFILE ON|OFF.
+  if (MatchIdent("statistics")) {
+    MT_RETURN_IF_ERROR(ExpectIdent("profile"));
+    auto opt = std::make_unique<SetOptionStmt>();
+    opt->option = "statistics profile";
+    if (MatchIdent("on")) {
+      opt->on = true;
+    } else if (MatchIdent("off")) {
+      opt->on = false;
+    } else {
+      return ErrorHere("expected ON or OFF");
+    }
+    return StmtPtr(std::move(opt));
+  }
   auto stmt = std::make_unique<SetVarStmt>();
   const Token& t = Peek();
   if (t.type != TokenType::kParam) return ErrorHere("expected @variable");

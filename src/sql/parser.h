@@ -17,9 +17,10 @@ namespace mtcache {
 /// derived tables, GROUP BY/HAVING/ORDER BY, CASE, UNION ALL, scalar
 /// assignment `SELECT @v = expr`, WITH MAXSTALENESS), INSERT (VALUES and
 /// INSERT..SELECT), UPDATE, DELETE, CREATE TABLE / INDEX / [CACHED]
-/// MATERIALIZED VIEW / PROCEDURE, DROP, GRANT/REVOKE, EXPLAIN, EXEC,
-/// DECLARE, SET, IF/ELSE, WHILE, RETURN, BEGIN TRANSACTION / COMMIT /
-/// ROLLBACK.
+/// MATERIALIZED VIEW / PROCEDURE, DROP, GRANT/REVOKE, EXPLAIN [ANALYZE]
+/// (SELECT/INSERT/UPDATE/DELETE; ANALYZE only on SELECT), EXEC, DECLARE,
+/// SET @var / SET STATISTICS PROFILE ON|OFF, IF/ELSE, WHILE, RETURN,
+/// BEGIN TRANSACTION / COMMIT / ROLLBACK.
 class Parser {
  public:
   explicit Parser(std::string sql) : sql_(std::move(sql)) {}

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/wait_stats.h"
+
 namespace mtcache {
 
 RowId HeapTable::Insert(Row row) {
@@ -103,7 +105,7 @@ StatusOr<RowId> StoredTable::Insert(const Row& row, Transaction* txn) {
     return Status::InvalidArgument("row arity mismatch for table " +
                                    def_->name);
   }
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   MT_RETURN_IF_ERROR(CheckUnique(row, -1));
   RowId rid = heap_.Insert(row);
   IndexInsert(row, rid);
@@ -120,7 +122,7 @@ StatusOr<RowId> StoredTable::Insert(const Row& row, Transaction* txn) {
 }
 
 Status StoredTable::Delete(RowId rid, Transaction* txn) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   if (!heap_.IsLive(rid)) {
     return Status::NotFound("rowid not live in table " + def_->name);
   }
@@ -140,7 +142,7 @@ Status StoredTable::Delete(RowId rid, Transaction* txn) {
 }
 
 Status StoredTable::Update(RowId rid, const Row& new_row, Transaction* txn) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   if (!heap_.IsLive(rid)) {
     return Status::NotFound("rowid not live in table " + def_->name);
   }
@@ -167,20 +169,20 @@ Status StoredTable::Update(RowId rid, const Row& new_row, Transaction* txn) {
 }
 
 void StoredTable::PhysicalDelete(RowId rid) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   if (!heap_.IsLive(rid)) return;
   IndexErase(heap_.Get(rid), rid);
   heap_.Delete(rid);
 }
 
 void StoredTable::PhysicalRestore(RowId rid, const Row& row) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   heap_.RestoreAt(rid, row);
   IndexInsert(row, rid);
 }
 
 void StoredTable::PhysicalUpdate(RowId rid, const Row& row) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
+  ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   if (!heap_.IsLive(rid)) return;
   IndexErase(heap_.Get(rid), rid);
   heap_.Update(rid, row);

@@ -3,7 +3,7 @@
 namespace mtcache {
 
 Lsn LogManager::ReadFrom(Lsn from, std::vector<LogRecord>* out) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexWait guard(mu_, WaitSite::kWalMutex);
   if (from < first_lsn_) from = first_lsn_;
   for (const LogRecord& rec : records_) {
     if (rec.lsn < from) continue;
@@ -14,7 +14,7 @@ Lsn LogManager::ReadFrom(Lsn from, std::vector<LogRecord>* out) const {
 }
 
 void LogManager::TruncateBefore(Lsn up_to) {
-  std::lock_guard<std::mutex> guard(mu_);
+  MutexWait guard(mu_, WaitSite::kWalMutex);
   while (!records_.empty() && records_.front().lsn < up_to) {
     records_.pop_front();
   }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/wait_stats.h"
 #include "types/value.h"
 
 namespace mtcache {
@@ -42,7 +43,10 @@ class LogManager {
   LogManager& operator=(const LogManager&) = delete;
 
   Lsn Append(LogRecord record) {
-    std::lock_guard<std::mutex> guard(mu_);
+    // Wait-accounted: sessions appending race the replication log reader's
+    // scans here (sys.dm_os_wait_stats WAL_MUTEX). The cheap const getters
+    // below keep plain guards so polling doesn't dominate the counts.
+    MutexWait guard(mu_, WaitSite::kWalMutex);
     record.lsn = next_lsn_++;
     Lsn lsn = record.lsn;
     records_.push_back(std::move(record));

@@ -181,6 +181,61 @@ TEST_F(ConcurrencyTest, DmvReadsRaceWithStatementExecution) {
   EXPECT_EQ(errors.count(), 0) << errors.first();
 }
 
+TEST_F(ConcurrencyTest, ProfiledQueriesRaceProfileTogglesAndDmvReads) {
+  // Profiling under contention: workers run profiled statements (per-session
+  // SET STATISTICS PROFILE batches and EXPLAIN ANALYZE) while the main
+  // thread flips the server-wide profiling switch and observers scan the
+  // profile/wait-stats DMVs. TSan validates the relaxed profiling guard,
+  // the profile ring's spinlock, and the wait-stats counters.
+  ThreadErrors errors;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([this, t, &errors, &stop] {
+      Random rng(4000 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        int64_t id = rng.Uniform(1, 100);
+        auto r = server_.Execute(
+            t == 0 ? "SET STATISTICS PROFILE ON; "
+                     "SELECT i_title FROM item WHERE i_id = " +
+                         std::to_string(id) +
+                         "; SET STATISTICS PROFILE OFF"
+                   : "EXPLAIN ANALYZE SELECT i_cost FROM item WHERE i_id = " +
+                         std::to_string(id));
+        if (!r.ok()) {
+          errors.Record(r.status().ToString());
+          return;
+        }
+      }
+    });
+  }
+  threads.emplace_back([this, &errors, &stop] {
+    const std::vector<std::string> dmvs = {
+        "SELECT COUNT(*) FROM sys.dm_exec_query_profiles",
+        "SELECT * FROM sys.dm_os_wait_stats",
+        "SELECT MAX(latency_p99) FROM sys.dm_exec_query_stats",
+    };
+    size_t next = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = server_.Execute(dmvs[next++ % dmvs.size()]);
+      if (!r.ok()) {
+        errors.Record(r.status().ToString());
+        return;
+      }
+    }
+  });
+  for (int i = 0; i < 100; ++i) {
+    server_.metrics().set_profiling_enabled(i % 2 == 0);
+    std::this_thread::yield();
+  }
+  server_.metrics().set_profiling_enabled(false);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.count(), 0) << errors.first();
+  EXPECT_FALSE(server_.metrics().SnapshotProfiles().empty());
+}
+
 /// Full-topology concurrency: replication pumping with injected faults on
 /// the main thread while reader sessions query the cache in parallel.
 class ReplicatedConcurrencyTest : public ::testing::Test {

@@ -350,6 +350,210 @@ TEST_F(DmvMtcacheTest, DmvQueriesAreLocalOnlyDespiteBackendLink) {
   EXPECT_EQ(cache_.metrics().trace().back().routing, "local");
 }
 
+// ---------------------------------------------------------------------------
+// Golden schemas: the sys.dm_* column names and types are a public surface
+// (bench JSON artifacts and EXPERIMENTS.md recipes key on them). Renaming or
+// retyping a column must be a deliberate act that updates this test.
+// ---------------------------------------------------------------------------
+
+using GoldenColumn = std::pair<std::string, TypeId>;
+
+void ExpectSchema(Server* server, const std::string& dmv,
+                  const std::vector<GoldenColumn>& golden) {
+  auto r = server->Execute("SELECT * FROM sys." + dmv);
+  ASSERT_TRUE(r.ok()) << dmv << ": " << r.status().ToString();
+  ASSERT_EQ(static_cast<size_t>(r->schema.num_columns()), golden.size())
+      << dmv;
+  for (size_t i = 0; i < golden.size(); ++i) {
+    EXPECT_EQ(r->schema.column(static_cast<int>(i)).name, golden[i].first)
+        << dmv << " column " << i;
+    EXPECT_EQ(r->schema.column(static_cast<int>(i)).type, golden[i].second)
+        << dmv << " column " << golden[i].first;
+  }
+}
+
+TEST_F(DmvTest, GoldenSchemas) {
+  const TypeId I = TypeId::kInt64, D = TypeId::kDouble, S = TypeId::kString;
+  ExpectSchema(&server_, "dm_plan_cache",
+               {{"hits", I},
+                {"misses", I},
+                {"uncacheable", I},
+                {"invalidations", I},
+                {"hit_rate", D},
+                {"cached_statements", I},
+                {"cached_procedure_plans", I},
+                {"view_match_hits", I},
+                {"view_match_misses", I},
+                {"view_match_conditional", I},
+                {"dynamic_plans", I},
+                {"remote_plans", I},
+                {"chooseplan_guards", I},
+                {"chooseplan_local", I},
+                {"chooseplan_remote", I},
+                {"currency_checks_passed", I},
+                {"currency_fallbacks", I}});
+  ExpectSchema(&server_, "dm_exec_query_stats",
+               {{"statement", S},
+                {"executions", I},
+                {"rows_returned", I},
+                {"local_cost", D},
+                {"remote_cost", D},
+                {"rows_transferred", I},
+                {"bytes_transferred", D},
+                {"remote_queries", I},
+                {"latency_avg", D},
+                {"latency_max", D},
+                {"latency_p50", D},
+                {"latency_p95", D},
+                {"latency_p99", D}});
+  ExpectSchema(&server_, "dm_exec_requests",
+               {{"query_id", I},
+                {"statement", S},
+                {"routing", S},
+                {"est_cost", D},
+                {"measured_cost", D},
+                {"local_cost", D},
+                {"remote_cost", D},
+                {"rows_returned", I},
+                {"rows_transferred", I},
+                {"remote_queries", I},
+                {"elapsed_seconds", D},
+                {"entries_dropped", I},
+                {"plan", S}});
+  ExpectSchema(&server_, "dm_exec_query_profiles",
+               {{"query_id", I},
+                {"statement", S},
+                {"op_id", I},
+                {"parent_id", I},
+                {"operator", S},
+                {"est_rows", D},
+                {"actual_rows", I},
+                {"opens", I},
+                {"next_calls", I},
+                {"open_seconds", D},
+                {"next_seconds", D},
+                {"close_seconds", D},
+                {"mem_peak_bytes", I}});
+  ExpectSchema(&server_, "dm_mtcache_views",
+               {{"name", S},
+                {"kind", S},
+                {"base_table", S},
+                {"subscription_id", I},
+                {"freshness_time", D},
+                {"staleness", D},
+                {"row_count", D}});
+  ExpectSchema(&server_, "dm_repl_metrics",
+               {{"records_scanned", I},
+                {"changes_enqueued", I},
+                {"changes_applied", I},
+                {"txns_applied", I},
+                {"txns_retried", I},
+                {"crashes_injected", I},
+                {"deliveries_dropped", I},
+                {"latency_avg", D},
+                {"latency_max", D},
+                {"latency_count", I},
+                {"latency_p50", D},
+                {"latency_p95", D},
+                {"latency_p99", D}});
+  ExpectSchema(&server_, "dm_repl_lag_histogram",
+               {{"bucket_lo", D}, {"bucket_hi", D}, {"count", I},
+                {"cumulative", I}});
+  ExpectSchema(&server_, "dm_os_wait_stats",
+               {{"wait_type", S},
+                {"acquisitions", I},
+                {"contentions", I},
+                {"wait_seconds", D},
+                {"max_wait_seconds", D}});
+}
+
+TEST_F(DmvTest, EntriesDroppedSurfacesRingEviction) {
+  EXPECT_EQ(server_.metrics().entries_dropped(), 0);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(
+        server_.Execute("SELECT id FROM t WHERE id = " + std::to_string(i))
+            .ok());
+  }
+  // Shrinking the ring evicts and counts the overflow immediately.
+  server_.metrics().set_trace_capacity(2);
+  int64_t after_shrink = server_.metrics().entries_dropped();
+  EXPECT_GE(after_shrink, 4);
+  // Normal capacity-overflow eviction counts too.
+  ASSERT_TRUE(server_.Execute("SELECT COUNT(*) FROM t").ok());
+  ASSERT_TRUE(server_.Execute("SELECT MAX(id) FROM t").ok());
+  EXPECT_GE(server_.metrics().entries_dropped(), after_shrink + 1);
+  // The counter rides along on every dm_exec_requests row, snapshotted at
+  // scan-open (before this DMV query's own trace entry evicts anything).
+  int64_t at_scan = server_.metrics().entries_dropped();
+  auto r = server_.Execute(
+      "SELECT MAX(entries_dropped) FROM sys.dm_exec_requests");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt(), at_scan);
+}
+
+TEST_F(DmvTest, ProfileRingKeepsLastNTrees) {
+  server_.metrics().set_profiling_enabled(true);
+  for (int i = 1; i <= 20; ++i) {
+    ASSERT_TRUE(
+        server_.Execute("SELECT id FROM t WHERE id = " + std::to_string(i))
+            .ok());
+  }
+  server_.metrics().set_profiling_enabled(false);
+  auto profiles = server_.metrics().SnapshotProfiles();
+  ASSERT_EQ(profiles.size(), 16u);  // ring capacity: last 16 kept
+  EXPECT_EQ(profiles.back().text, "SELECT id FROM t WHERE id = 20");
+  EXPECT_EQ(profiles.front().text, "SELECT id FROM t WHERE id = 5");
+  // Profile ids come from the same sequence as the trace ring, so a profile
+  // joins back to its dm_exec_requests row.
+  EXPECT_GT(profiles.back().query_id, profiles.front().query_id);
+  for (const auto& rec : profiles) {
+    EXPECT_EQ(rec.root.actual_rows, 1) << rec.text;
+    EXPECT_GT(rec.root.opens, 0) << rec.text;
+  }
+  // The DMV flattening: every profiled tree contributes a root row op_id=0
+  // with parent_id=-1 joined to its query_id.
+  auto r = server_.Execute(
+      "SELECT COUNT(*) FROM sys.dm_exec_query_profiles WHERE parent_id = -1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].AsInt(), 16);
+}
+
+TEST_F(DmvMtcacheTest, ReplLagHistogramRowsMatchLatencyCount) {
+  ASSERT_TRUE(
+      backend_
+          .ExecuteScript("UPDATE customer SET cname = 'lagged' WHERE cid <= 8")
+          .ok());
+  clock_.Advance(0.5);
+  ASSERT_TRUE(DrainPipeline(&repl_, &clock_).ok());
+  auto metrics = cache_.Execute(
+      "SELECT latency_count FROM sys.dm_repl_metrics");
+  ASSERT_TRUE(metrics.ok());
+  int64_t latency_count = IntCol(*metrics, "latency_count");
+  ASSERT_GT(latency_count, 0);
+
+  auto r = cache_.Execute("SELECT * FROM sys.dm_repl_lag_histogram");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->rows.empty());
+  // Buckets are emitted in ascending order, cumulative sums the counts, and
+  // the final cumulative equals the total number of recorded lags.
+  int64_t running = 0;
+  double prev_lo = -1;
+  for (size_t i = 0; i < r->rows.size(); ++i) {
+    double lo = DoubleCol(*r, "bucket_lo", i);
+    EXPECT_GT(lo, prev_lo);
+    prev_lo = lo;
+    running += IntCol(*r, "count", i);
+    EXPECT_EQ(IntCol(*r, "cumulative", i), running);
+  }
+  EXPECT_EQ(running, latency_count);
+  // p50/p95/p99 in dm_repl_metrics come from the same histogram.
+  auto p = cache_.Execute(
+      "SELECT latency_p50, latency_p99 FROM sys.dm_repl_metrics");
+  ASSERT_TRUE(p.ok());
+  EXPECT_GT(DoubleCol(*p, "latency_p50"), 0);
+  EXPECT_GE(DoubleCol(*p, "latency_p99"), DoubleCol(*p, "latency_p50"));
+}
+
 TEST_F(DmvTest, QueryStatsConsistentUnderConcurrentExecution) {
   // Hammer one statement (returning exactly 5 rows per execution) from
   // several threads while another thread repeatedly snapshots

@@ -1,0 +1,149 @@
+// Unit tests for the lock-free log-bucketed histogram backing the latency
+// percentiles in sys.dm_exec_query_stats and sys.dm_repl_metrics.
+
+#include "common/histogram.h"
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mtcache {
+namespace {
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  // Bucket 0 is the underflow catch-all: zero, negatives, NaN, sub-minimum.
+  EXPECT_EQ(LogHistogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(LogHistogram::BucketIndex(-1.5), 0);
+  EXPECT_EQ(LogHistogram::BucketIndex(std::nan("")), 0);
+  EXPECT_EQ(LogHistogram::BucketIndex(std::ldexp(1.0, LogHistogram::kMinExp) / 2),
+            0);
+  EXPECT_EQ(LogHistogram::BucketLowerBound(0), 0.0);
+
+  // Bucket 1 starts exactly at 2^kMinExp.
+  double min_bound = std::ldexp(1.0, LogHistogram::kMinExp);
+  EXPECT_EQ(LogHistogram::BucketIndex(min_bound), 1);
+  EXPECT_EQ(LogHistogram::BucketLowerBound(1), min_bound);
+
+  // Each value lands in a bucket whose [lo, hi) actually contains it.
+  for (double v : {1e-9, 1e-6, 0.001, 0.5, 1.0, 3.0, 1024.0, 1e6}) {
+    int i = LogHistogram::BucketIndex(v);
+    EXPECT_GE(v, LogHistogram::BucketLowerBound(i)) << v;
+    EXPECT_LT(v, LogHistogram::BucketUpperBound(i)) << v;
+  }
+
+  // Bucket bounds tile: upper(i) == lower(i+1), and width is exactly 2x.
+  for (int i = 1; i < LogHistogram::kBuckets - 2; ++i) {
+    EXPECT_EQ(LogHistogram::BucketUpperBound(i),
+              LogHistogram::BucketLowerBound(i + 1));
+    EXPECT_EQ(LogHistogram::BucketUpperBound(i),
+              2 * LogHistogram::BucketLowerBound(i));
+  }
+
+  // Overflow: anything at or beyond the top bound hits the last bucket,
+  // whose upper bound is infinite.
+  int last = LogHistogram::kBuckets - 1;
+  EXPECT_EQ(LogHistogram::BucketIndex(1e30), last);
+  EXPECT_EQ(LogHistogram::BucketIndex(LogHistogram::BucketLowerBound(last)),
+            last);
+  EXPECT_TRUE(std::isinf(LogHistogram::BucketUpperBound(last)));
+}
+
+TEST(LogHistogramTest, RecordAndSummaryStats) {
+  LogHistogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Avg(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+
+  h.Record(1.0);
+  h.Record(2.0);
+  h.Record(3.0);
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_DOUBLE_EQ(h.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Avg(), 2.0);
+  EXPECT_EQ(h.BucketCount(LogHistogram::BucketIndex(1.0)), 1);
+  // 2.0 and 3.0 share the [2, 4) bucket.
+  EXPECT_EQ(h.BucketCount(LogHistogram::BucketIndex(2.0)), 2);
+}
+
+TEST(LogHistogramTest, Merge) {
+  LogHistogram a, b;
+  a.Record(0.5);
+  a.Record(8.0);
+  b.Record(2.0);
+  b.Record(16.0);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 4);
+  EXPECT_DOUBLE_EQ(a.Sum(), 26.5);
+  EXPECT_DOUBLE_EQ(a.Max(), 16.0);
+  for (double v : {0.5, 8.0, 2.0, 16.0}) {
+    EXPECT_EQ(a.BucketCount(LogHistogram::BucketIndex(v)), 1) << v;
+  }
+  // b is untouched by the merge.
+  EXPECT_EQ(b.Count(), 2);
+}
+
+TEST(LogHistogramTest, PercentileAccuracy) {
+  // Uniform values 1..1000: every estimate must be within one power of two
+  // of the true percentile (the documented bucket-width error bound), and
+  // never above the recorded max.
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  for (double p : {0.10, 0.50, 0.90, 0.95, 0.99}) {
+    double truth = 1.0 + p * 999.0;
+    double est = h.Percentile(p);
+    EXPECT_GE(est, truth / 2) << "p=" << p;
+    EXPECT_LE(est, truth * 2) << "p=" << p;
+    EXPECT_LE(est, h.Max()) << "p=" << p;
+  }
+  // Percentiles are monotone in p, and p=1 hits the max exactly.
+  EXPECT_LE(h.Percentile(0.5), h.Percentile(0.95));
+  EXPECT_LE(h.Percentile(0.95), h.Percentile(0.99));
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 1000.0);
+  // Out-of-range p clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.5), h.Percentile(1.0));
+  EXPECT_GE(h.Percentile(-0.5), 0.0);
+}
+
+TEST(LogHistogramTest, PercentileSingleValueAndUnderflow) {
+  LogHistogram one;
+  one.Record(0.125);
+  // A single sample: every percentile is that sample's bucket, clamped to
+  // the max, so the answer is exact.
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 0.125);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 0.125);
+
+  // All-underflow data reports 0 (the bucket-0 contract).
+  LogHistogram zeros;
+  zeros.Record(0.0);
+  zeros.Record(0.0);
+  EXPECT_DOUBLE_EQ(zeros.Percentile(0.99), 0.0);
+}
+
+TEST(LogHistogramTest, ConcurrentRecord) {
+  // Record from several threads; totals must be exact (the adds are atomic
+  // even though they are relaxed).
+  LogHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1.0 + (t * kPerThread + i) % 7);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int i = 0; i < LogHistogram::kBuckets; ++i) bucket_total += h.BucketCount(i);
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(h.Max(), 7.0);
+}
+
+}  // namespace
+}  // namespace mtcache

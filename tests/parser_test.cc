@@ -410,8 +410,54 @@ TEST(ParserTest, ExplainStatement) {
   auto r = ParseSql("EXPLAIN SELECT a FROM t WHERE a > 1");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   auto* e = static_cast<ExplainStmt*>(r->get());
-  ASSERT_NE(e->select, nullptr);
-  EXPECT_EQ(e->select->items.size(), 1u);
+  EXPECT_FALSE(e->analyze);
+  ASSERT_NE(e->target, nullptr);
+  ASSERT_EQ(e->target->kind, StmtKind::kSelect);
+  EXPECT_EQ(static_cast<SelectStmt*>(e->target.get())->items.size(), 1u);
+}
+
+TEST(ParserTest, ExplainAnalyze) {
+  auto r = ParseSql("EXPLAIN ANALYZE SELECT a FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto* e = static_cast<ExplainStmt*>(r->get());
+  EXPECT_TRUE(e->analyze);
+  ASSERT_NE(e->target, nullptr);
+  EXPECT_EQ(e->target->kind, StmtKind::kSelect);
+  // ANALYZE would execute the statement; that is only allowed for SELECT.
+  EXPECT_FALSE(ParseSql("EXPLAIN ANALYZE DELETE FROM t").ok());
+}
+
+TEST(ParserTest, ExplainDml) {
+  auto ins = ParseSql("EXPLAIN INSERT INTO t VALUES (1)");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ(static_cast<ExplainStmt*>(ins->get())->target->kind,
+            StmtKind::kInsert);
+  auto upd = ParseSql("EXPLAIN UPDATE t SET a = 2 WHERE a = 1");
+  ASSERT_TRUE(upd.ok()) << upd.status().ToString();
+  EXPECT_EQ(static_cast<ExplainStmt*>(upd->get())->target->kind,
+            StmtKind::kUpdate);
+  auto del = ParseSql("EXPLAIN DELETE FROM t WHERE a = 1");
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(static_cast<ExplainStmt*>(del->get())->target->kind,
+            StmtKind::kDelete);
+  // Non-plannable statements stay rejected.
+  EXPECT_FALSE(ParseSql("EXPLAIN CREATE TABLE t (a INT)").ok());
+}
+
+TEST(ParserTest, SetStatisticsProfile) {
+  auto on = ParseSql("SET STATISTICS PROFILE ON");
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  auto* s = static_cast<SetOptionStmt*>(on->get());
+  EXPECT_EQ(s->option, "statistics profile");
+  EXPECT_TRUE(s->on);
+  auto off = ParseSql("SET STATISTICS PROFILE OFF");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(static_cast<SetOptionStmt*>(off->get())->on);
+  EXPECT_FALSE(ParseSql("SET STATISTICS PROFILE MAYBE").ok());
+  // Plain variable SET still parses.
+  auto var = ParseSql("SET @x = 1");
+  ASSERT_TRUE(var.ok());
+  EXPECT_EQ(var->get()->kind, StmtKind::kSetVar);
 }
 
 TEST(ParserTest, MaxStalenessClause) {
