@@ -9,6 +9,9 @@
 #   scripts/check.sh profile  # profiling smoke gate: EXPLAIN ANALYZE actuals,
 #                             # trace spans, percentile/wait DMVs, and a
 #                             # Chrome trace artifact from a traced bench run
+#   scripts/check.sh batch    # batched-executor gate: batch-vs-row
+#                             # differential corpus + scan memory regression,
+#                             # then the scan-throughput bench in smoke mode
 #
 # The asan mode exercises the crash/restart paths with memory checking on:
 # replication_fault_test (incl. the 200-seed randomized schedules),
@@ -69,8 +72,21 @@ case "$mode" in
       --trace build/trace_exp1.json
     grep -q '"traceEvents"' build/trace_exp1.json
     ;;
+  batch)
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target \
+      batch_exec_test exec_test exp2_scan_throughput
+    # The differential corpus proves batch ≡ row (the row path is the
+    # oracle); the memory test pins the copy-free snapshot high-water; the
+    # exec suite re-checks operator semantics and cost parity.
+    (cd build && ctest --output-on-failure -R 'BatchDiff|BatchScanMemory|Exec')
+    # Scan throughput smoke: the JSON line is the before/after artifact
+    # (committed as BENCH_exp2_scan.json on real runs).
+    exp2_out="$(./build/bench/exp2_scan_throughput --smoke)"
+    grep -q '"scanned_rows_per_sec"' <<<"$exp2_out"
+    ;;
   *)
-    echo "usage: $0 [default|asan|tsan|profile]" >&2
+    echo "usage: $0 [default|asan|tsan|profile|batch]" >&2
     exit 2
     ;;
 esac

@@ -35,6 +35,19 @@ TableDef MakeDmv(const std::string& bare_name,
   return def;
 }
 
+// Applies the scan's pushed-down filter at render time: rejected rows are
+// dropped immediately instead of being accumulated into the materialized
+// snapshot. A null filter keeps everything.
+Status EmitRow(const VirtualRowFilter& filter, Row row,
+               std::vector<Row>* rows) {
+  if (filter != nullptr) {
+    MT_ASSIGN_OR_RETURN(bool keep, filter(row));
+    if (!keep) return Status::Ok();
+  }
+  rows->push_back(std::move(row));
+  return Status::Ok();
+}
+
 Row PlanCacheRow(const DmvSource& src) {
   const MetricsRegistry& m = *src.metrics;
   return Row{
@@ -58,10 +71,11 @@ Row PlanCacheRow(const DmvSource& src) {
   };
 }
 
-std::vector<Row> QueryStatsRows(const DmvSource& src) {
+StatusOr<std::vector<Row>> QueryStatsRows(const DmvSource& src,
+                                          const VirtualRowFilter& filter) {
   std::vector<Row> rows;
   for (const auto& [text, rollup] : src.metrics->SnapshotRollups()) {
-    rows.push_back(Row{
+    MT_RETURN_IF_ERROR(EmitRow(filter, Row{
         Value::String(text),
         Value::Int(rollup.executions),
         Value::Int(rollup.rows_returned),
@@ -75,16 +89,17 @@ std::vector<Row> QueryStatsRows(const DmvSource& src) {
         Value::Double(rollup.latency.Percentile(0.50)),
         Value::Double(rollup.latency.Percentile(0.95)),
         Value::Double(rollup.latency.Percentile(0.99)),
-    });
+    }, &rows));
   }
   return rows;
 }
 
-std::vector<Row> RequestsRows(const DmvSource& src) {
+StatusOr<std::vector<Row>> RequestsRows(const DmvSource& src,
+                                        const VirtualRowFilter& filter) {
   std::vector<Row> rows;
   int64_t dropped = src.metrics->entries_dropped();
   for (const QueryTrace& t : src.metrics->SnapshotTrace()) {
-    rows.push_back(Row{
+    MT_RETURN_IF_ERROR(EmitRow(filter, Row{
         Value::Int(t.query_id),
         Value::String(t.text),
         Value::String(t.routing),
@@ -98,7 +113,7 @@ std::vector<Row> RequestsRows(const DmvSource& src) {
         Value::Double(t.elapsed_seconds),
         Value::Int(dropped),
         Value::String(t.plan),
-    });
+    }, &rows));
   }
   return rows;
 }
@@ -106,11 +121,12 @@ std::vector<Row> RequestsRows(const DmvSource& src) {
 // Flattens one profile tree pre-order. op_id is the pre-order position
 // (root = 0), parent_id is the parent's op_id (-1 for the root), so the
 // tree can be reassembled from the rows.
-void AppendProfileRows(const QueryProfileRecord& rec, const OperatorProfile& op,
-                       int64_t parent_id, int64_t* next_id,
-                       std::vector<Row>* rows) {
+Status AppendProfileRows(const QueryProfileRecord& rec,
+                         const OperatorProfile& op, int64_t parent_id,
+                         int64_t* next_id, const VirtualRowFilter& filter,
+                         std::vector<Row>* rows) {
   int64_t op_id = (*next_id)++;
-  rows->push_back(Row{
+  MT_RETURN_IF_ERROR(EmitRow(filter, Row{
       Value::Int(rec.query_id),
       Value::String(rec.text),
       Value::Int(op_id),
@@ -124,22 +140,27 @@ void AppendProfileRows(const QueryProfileRecord& rec, const OperatorProfile& op,
       Value::Double(op.next_seconds),
       Value::Double(op.close_seconds),
       Value::Int(op.mem_peak_bytes),
-  });
+  }, rows));
   for (const OperatorProfile& child : op.children) {
-    AppendProfileRows(rec, child, op_id, next_id, rows);
+    MT_RETURN_IF_ERROR(
+        AppendProfileRows(rec, child, op_id, next_id, filter, rows));
   }
+  return Status::Ok();
 }
 
-std::vector<Row> QueryProfilesRows(const DmvSource& src) {
+StatusOr<std::vector<Row>> QueryProfilesRows(const DmvSource& src,
+                                             const VirtualRowFilter& filter) {
   std::vector<Row> rows;
   for (const QueryProfileRecord& rec : src.metrics->SnapshotProfiles()) {
     int64_t next_id = 0;
-    AppendProfileRows(rec, rec.root, -1, &next_id, &rows);
+    MT_RETURN_IF_ERROR(
+        AppendProfileRows(rec, rec.root, -1, &next_id, filter, &rows));
   }
   return rows;
 }
 
-std::vector<Row> MtcacheViewsRows(const DmvSource& src) {
+StatusOr<std::vector<Row>> MtcacheViewsRows(const DmvSource& src,
+                                            const VirtualRowFilter& filter) {
   std::vector<Row> rows;
   for (const std::string& name : src.catalog->TableNames()) {
     const TableDef* def = src.catalog->GetTable(name);
@@ -150,7 +171,7 @@ std::vector<Row> MtcacheViewsRows(const DmvSource& src) {
     double staleness = cached && def->freshness_time >= 0
                            ? src.now - def->freshness_time
                            : -1;
-    rows.push_back(Row{
+    MT_RETURN_IF_ERROR(EmitRow(filter, Row{
         Value::String(def->name),
         Value::String(cached ? "cached" : "materialized"),
         Value::String(def->view_def->base_table),
@@ -158,7 +179,7 @@ std::vector<Row> MtcacheViewsRows(const DmvSource& src) {
         Value::Double(def->freshness_time),
         Value::Double(staleness),
         Value::Double(def->stats.row_count),
-    });
+    }, &rows));
   }
   return rows;
 }
@@ -182,7 +203,8 @@ Row ReplMetricsRow(const DmvSource& src) {
   };
 }
 
-std::vector<Row> ReplLagHistogramRows(const DmvSource& src) {
+StatusOr<std::vector<Row>> ReplLagHistogramRows(
+    const DmvSource& src, const VirtualRowFilter& filter) {
   ReplMetricsSnapshot r = src.metrics->repl_snapshot();
   std::vector<Row> rows;
   int64_t cumulative = 0;
@@ -190,29 +212,29 @@ std::vector<Row> ReplLagHistogramRows(const DmvSource& src) {
     cumulative += b.count;
     // The overflow bucket's open upper bound is rendered as NULL, not inf:
     // the Value layer treats non-finite doubles as untrustworthy literals.
-    rows.push_back(Row{
+    MT_RETURN_IF_ERROR(EmitRow(filter, Row{
         Value::Double(b.lo),
         std::isfinite(b.hi) ? Value::Double(b.hi) : Value::Null(),
         Value::Int(b.count),
         Value::Int(cumulative),
-    });
+    }, &rows));
   }
   return rows;
 }
 
-std::vector<Row> WaitStatsRows() {
+StatusOr<std::vector<Row>> WaitStatsRows(const VirtualRowFilter& filter) {
   const WaitStats& ws = GlobalWaitStats();
   std::vector<Row> rows;
   for (int i = 0; i < static_cast<int>(WaitSite::kCount); ++i) {
     WaitSite site = static_cast<WaitSite>(i);
     const WaitSiteStats& s = ws.at(site);
-    rows.push_back(Row{
+    MT_RETURN_IF_ERROR(EmitRow(filter, Row{
         Value::String(WaitSiteName(site)),
         Value::Int(s.acquisitions),
         Value::Int(s.contentions),
         Value::Double(s.wait_seconds),
         Value::Double(s.max_wait_seconds),
-    });
+    }, &rows));
   }
   return rows;
 }
@@ -335,28 +357,37 @@ std::vector<std::string> DmvCatalog::Names() const {
 }
 
 StatusOr<std::vector<Row>> DmvRows(const std::string& name,
-                                   const DmvSource& src) {
+                                   const DmvSource& src,
+                                   const VirtualRowFilter& filter) {
   if (src.metrics == nullptr || src.catalog == nullptr) {
     return Status::Internal("DMV source not wired");
   }
   if (name == std::string("sys.") + kPlanCache) {
-    return std::vector<Row>{PlanCacheRow(src)};
+    std::vector<Row> rows;
+    MT_RETURN_IF_ERROR(EmitRow(filter, PlanCacheRow(src), &rows));
+    return rows;
   }
-  if (name == std::string("sys.") + kQueryStats) return QueryStatsRows(src);
-  if (name == std::string("sys.") + kRequests) return RequestsRows(src);
+  if (name == std::string("sys.") + kQueryStats) {
+    return QueryStatsRows(src, filter);
+  }
+  if (name == std::string("sys.") + kRequests) {
+    return RequestsRows(src, filter);
+  }
   if (name == std::string("sys.") + kMtcacheViews) {
-    return MtcacheViewsRows(src);
+    return MtcacheViewsRows(src, filter);
   }
   if (name == std::string("sys.") + kReplMetrics) {
-    return std::vector<Row>{ReplMetricsRow(src)};
+    std::vector<Row> rows;
+    MT_RETURN_IF_ERROR(EmitRow(filter, ReplMetricsRow(src), &rows));
+    return rows;
   }
   if (name == std::string("sys.") + kQueryProfiles) {
-    return QueryProfilesRows(src);
+    return QueryProfilesRows(src, filter);
   }
   if (name == std::string("sys.") + kReplLagHistogram) {
-    return ReplLagHistogramRows(src);
+    return ReplLagHistogramRows(src, filter);
   }
-  if (name == std::string("sys.") + kWaitStats) return WaitStatsRows();
+  if (name == std::string("sys.") + kWaitStats) return WaitStatsRows(filter);
   return Status::NotFound("unknown DMV: " + name);
 }
 

@@ -57,9 +57,14 @@ struct DmvSource {
 };
 
 /// Materializes the rows of the named DMV (full dotted name, e.g.
-/// "sys.dm_plan_cache") from the source snapshot.
+/// "sys.dm_plan_cache") from the source snapshot. `filter` is the scan's
+/// pushed-down predicate (may be null): it is applied while the rows are
+/// being rendered, so a selective query over a large registry (e.g.
+/// `... WHERE query_id = ?` against the profile ring) never accumulates the
+/// non-matching rows at all.
 StatusOr<std::vector<Row>> DmvRows(const std::string& name,
-                                   const DmvSource& src);
+                                   const DmvSource& src,
+                                   const VirtualRowFilter& filter);
 
 }  // namespace mtcache
 

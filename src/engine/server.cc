@@ -126,10 +126,12 @@ ExecContext Server::MakeContext(Session* session, ExecStats* stats) {
   ctx.stats = stats;
   ctx.virtual_tables = this;
   ctx.branch_stats = &metrics_.chooseplan;
+  ctx.use_batch = options_.use_batch_execution;
   return ctx;
 }
 
-StatusOr<std::vector<Row>> Server::VirtualTableRows(const std::string& name) {
+StatusOr<std::vector<Row>> Server::VirtualTableRows(
+    const std::string& name, const VirtualRowFilter& filter) {
   DmvSource src;
   src.metrics = &metrics_;
   src.catalog = &db_.catalog();
@@ -141,7 +143,7 @@ StatusOr<std::vector<Row>> Server::VirtualTableRows(const std::string& name) {
       src.cached_procedure_plans += static_cast<int64_t>(proc.plans.size());
     }
   }
-  return DmvRows(name, src);
+  return DmvRows(name, src, filter);
 }
 
 Server::TxnScope Server::BeginScope(Session* session) {

@@ -54,6 +54,11 @@ struct ServerOptions {
   std::string name = "server";
   std::string default_user = "dbo";
   OptimizerOptions optimizer;
+  /// When false, every ExecContext this server builds runs the executor in
+  /// row-at-a-time mode instead of the default batched mode. The row path is
+  /// the semantics oracle: differential tests flip this to prove the batch
+  /// path produces byte-identical results.
+  bool use_batch_execution = true;
 };
 
 /// One SQL server instance: a database, an optimizer, an executor, a plan
@@ -141,8 +146,10 @@ class Server : public RemoteExecutor, public VirtualTableProvider {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  // VirtualTableProvider: materializes sys.dm_* rows at scan-open time.
-  StatusOr<std::vector<Row>> VirtualTableRows(const std::string& name) override;
+  // VirtualTableProvider: materializes sys.dm_* rows at scan-open time,
+  // applying the scan's pushed-down predicate while rendering.
+  StatusOr<std::vector<Row>> VirtualTableRows(
+      const std::string& name, const VirtualRowFilter& filter) override;
 
   /// The server's DMV catalog (names and schemas of the sys.dm_* views),
   /// e.g. for snapshot helpers that enumerate every DMV.

@@ -42,6 +42,61 @@ struct RowEq {
   }
 };
 
+// Drains every row of `child` (already opened) through `fn`, using whichever
+// drive mode the context selects. Used by pipeline breakers that materialize
+// their whole input anyway (hash build, aggregation, sort, NL inner), so the
+// subtree below them still runs its batch path.
+template <typename Fn>
+Status DrainRows(ExecNode* child, ExecContext* ctx, const Fn& fn) {
+  if (ctx->use_batch) {
+    RowBatch batch;
+    while (true) {
+      MT_ASSIGN_OR_RETURN(bool more, child->NextBatch(ctx, &batch));
+      if (!more) return Status::Ok();
+      for (const Row* row : batch.rows) MT_RETURN_IF_ERROR(fn(*row));
+    }
+  }
+  Row row;
+  while (true) {
+    MT_ASSIGN_OR_RETURN(bool more, child->Next(ctx, &row));
+    if (!more) return Status::Ok();
+    MT_RETURN_IF_ERROR(fn(row));
+  }
+}
+
+// Pulls rows one at a time over a child's NextBatch stream: operators with
+// inherently row-at-a-time control flow (nested-loops outer sides) still
+// drive their input through the batch path. The returned pointer is valid
+// until the next Pull; nullptr signals end of stream.
+class BatchRowReader {
+ public:
+  void Reset(ExecNode* child) {
+    child_ = child;
+    batch_.Clear();
+    pos_ = 0;
+    done_ = false;
+  }
+
+  StatusOr<const Row*> Pull(ExecContext* ctx) {
+    while (pos_ >= batch_.size()) {
+      if (done_) return static_cast<const Row*>(nullptr);
+      MT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &batch_));
+      pos_ = 0;
+      if (!more) {
+        done_ = true;
+        return static_cast<const Row*>(nullptr);
+      }
+    }
+    return batch_.rows[pos_++];
+  }
+
+ private:
+  ExecNode* child_ = nullptr;
+  RowBatch batch_;
+  int64_t pos_ = 0;
+  bool done_ = false;
+};
+
 class DualScanExec : public ExecNode {
  public:
   Status Open(ExecContext*) override {
@@ -59,30 +114,54 @@ class DualScanExec : public ExecNode {
   bool done_ = false;
 };
 
-// Scans materialize their rows at Open under a briefly-held shared table
-// latch and never touch storage again, so no latch is held across Next and
-// concurrent DML on the same table cannot tear a row mid-scan. Costing is
-// unchanged for a fully-drained scan: every emitted row is charged as it is
-// returned and the dead-slot (or dead-index-entry) remainder is charged once
-// at exhaustion.
+// Sequential scan over an immutable table snapshot. Open pins the table's
+// refcounted row-version snapshot (O(1) when cached, one pointer-copy pass
+// under a briefly-held shared latch otherwise) and never touches storage
+// again: no latch is held across Next, concurrent DML installs fresh row
+// versions without disturbing the pinned ones, and no payload is copied —
+// the batch path hands parents pointers straight into the snapshot.
+//
+// A predicate/projection folded into the scan by the optimizer is applied
+// here: non-qualifying rows never leave the operator, and projected rows are
+// built directly into the output batch. Costing stays commensurate with the
+// unfused Filter/Project plan: kSeqRowCost per live row visited,
+// kFilterRowCost per pushed-predicate test, kProjectRowCost per projected
+// output row, and the dead-slot remainder charged once at exhaustion.
 class SeqScanExec : public ExecNode {
  public:
   explicit SeqScanExec(const PhysSeqScan& op) : op_(op) {}
 
   Status Open(ExecContext* ctx) override {
-    rows_.clear();
+    snapshot_.reset();
+    virtual_rows_.clear();
     pos_ = 0;
-    dead_slots_ = 0;
     charged_tail_ = false;
     if (op_.def->virtual_table) {
       // Virtual tables (sys.dm_* DMVs) are materialized at Open time so a
-      // query sees one consistent snapshot of the counters.
+      // query sees one consistent snapshot of the counters. The pushed
+      // predicate travels into the provider: non-matching rows are dropped
+      // while the registry is being rendered, before they are accumulated.
       if (ctx->virtual_tables == nullptr) {
         return Status::Internal("no virtual-table provider for " +
                                 op_.def->name);
       }
-      MT_ASSIGN_OR_RETURN(rows_,
-                          ctx->virtual_tables->VirtualTableRows(op_.def->name));
+      int64_t tested = 0;
+      VirtualRowFilter filter;
+      if (op_.pushed_predicate != nullptr) {
+        filter = [this, ctx, &tested](const Row& row) -> StatusOr<bool> {
+          ++tested;
+          return EvalPredicate(*op_.pushed_predicate, &row, ctx->Eval());
+        };
+      }
+      MT_ASSIGN_OR_RETURN(virtual_rows_, ctx->virtual_tables->VirtualTableRows(
+                                             op_.def->name, filter));
+      // Rows the pushed predicate rejected were still rendered and tested;
+      // charge them now (kept rows are charged as they are emitted).
+      int64_t rejected = tested - static_cast<int64_t>(virtual_rows_.size());
+      if (rejected > 0) {
+        ctx->Charge((CostModel::kSeqRowCost + CostModel::kFilterRowCost) *
+                    static_cast<double>(rejected));
+      }
       return Status::Ok();
     }
     StoredTable* table = ctx->storage != nullptr
@@ -91,44 +170,154 @@ class SeqScanExec : public ExecNode {
     if (table == nullptr) {
       return Status::Internal("no storage for table " + op_.def->name);
     }
-    SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
-    const HeapTable& heap = table->heap();
-    rows_.reserve(heap.live_count());
-    for (RowId rid = 0; rid < heap.slot_count(); ++rid) {
-      if (heap.IsLive(rid)) {
-        rows_.push_back(heap.Get(rid));
-      } else {
-        ++dead_slots_;
-      }
-    }
+    snapshot_ = table->ScanSnapshot();
     return Status::Ok();
   }
 
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
-    if (pos_ < rows_.size()) {
-      ctx->Charge(CostModel::kSeqRowCost);
-      *row = rows_[pos_++];
+    if (op_.def->virtual_table) {
+      if (pos_ >= virtual_rows_.size()) return false;
+      Row& r = virtual_rows_[pos_++];
+      ctx->Charge(PerEmittedRowCost());
+      if (!op_.pushed_projection.empty()) {
+        MT_RETURN_IF_ERROR(ProjectInto(r, ctx, row));
+      } else {
+        // Rows are re-rendered on every Open, so hand this one off.
+        *row = std::move(r);
+      }
       return true;
     }
-    if (!charged_tail_) {
-      ctx->Charge(CostModel::kSeqRowCost * static_cast<double>(dead_slots_));
-      charged_tail_ = true;
+    const std::vector<RowPtr>& rows = snapshot_->rows;
+    while (pos_ < rows.size()) {
+      const Row& r = *rows[pos_++];
+      ctx->Charge(CostModel::kSeqRowCost);
+      if (op_.pushed_predicate != nullptr) {
+        ctx->Charge(CostModel::kFilterRowCost);
+        MT_ASSIGN_OR_RETURN(
+            bool pass, EvalPredicate(*op_.pushed_predicate, &r, ctx->Eval()));
+        if (!pass) continue;
+      }
+      if (!op_.pushed_projection.empty()) {
+        ctx->Charge(CostModel::kProjectRowCost);
+        MT_RETURN_IF_ERROR(ProjectInto(r, ctx, row));
+      } else {
+        *row = r;
+      }
+      return true;
     }
+    ChargeTail(ctx);
     return false;
   }
 
-  void Close() override { rows_.clear(); }
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    if (op_.def->virtual_table) {
+      while (pos_ < virtual_rows_.size() && !batch->full()) {
+        if (!op_.pushed_projection.empty()) {
+          Row out;
+          MT_RETURN_IF_ERROR(ProjectInto(virtual_rows_[pos_], ctx, &out));
+          batch->PushOwned(std::move(out));
+        } else {
+          batch->PushRef(&virtual_rows_[pos_]);
+        }
+        ++pos_;
+      }
+      ctx->Charge(PerEmittedRowCost() * static_cast<double>(batch->size()));
+      return batch->size() > 0;
+    }
+    const std::vector<RowPtr>& rows = snapshot_->rows;
+    // Loop chunks until at least one row qualifies (a selective pushed
+    // predicate may reject a whole chunk) or the snapshot is exhausted.
+    while (batch->size() == 0 && pos_ < rows.size()) {
+      size_t chunk = std::min(static_cast<size_t>(RowBatch::kMaxRows),
+                              rows.size() - pos_);
+      ctx->Charge(CostModel::kSeqRowCost * static_cast<double>(chunk));
+      scratch_.clear();
+      scratch_.reserve(chunk);
+      for (size_t i = 0; i < chunk; ++i) {
+        scratch_.push_back(rows[pos_ + i].get());
+      }
+      pos_ += chunk;
+      if (op_.pushed_predicate != nullptr) {
+        ctx->Charge(CostModel::kFilterRowCost * static_cast<double>(chunk));
+        MT_RETURN_IF_ERROR(EvalPredicateBatch(*op_.pushed_predicate, scratch_,
+                                              ctx->Eval(), &keep_));
+        size_t out = 0;
+        for (size_t i = 0; i < chunk; ++i) {
+          if (keep_[i]) scratch_[out++] = scratch_[i];
+        }
+        scratch_.resize(out);
+      }
+      if (!op_.pushed_projection.empty()) {
+        ctx->Charge(CostModel::kProjectRowCost *
+                    static_cast<double>(scratch_.size()));
+        for (const Row* r : scratch_) {
+          Row proj;
+          MT_RETURN_IF_ERROR(ProjectInto(*r, ctx, &proj));
+          batch->PushOwned(std::move(proj));
+        }
+      } else {
+        for (const Row* r : scratch_) batch->PushRef(r);
+      }
+    }
+    if (batch->size() > 0) return true;
+    ChargeTail(ctx);
+    return false;
+  }
 
-  int64_t MemoryBytes() const override { return RowsBytes(rows_); }
+  void Close() override {
+    snapshot_.reset();  // unpin the row versions
+    virtual_rows_.clear();
+    scratch_.clear();
+  }
+
+  int64_t MemoryBytes() const override {
+    // The snapshot shares the table's row versions; the scan's private
+    // footprint is the pointer vector, not the payloads.
+    int64_t bytes = RowsBytes(virtual_rows_);
+    if (snapshot_ != nullptr) {
+      bytes += static_cast<int64_t>(snapshot_->rows.size() * sizeof(RowPtr));
+    }
+    return bytes;
+  }
 
  private:
+  double PerEmittedRowCost() const {
+    double c = CostModel::kSeqRowCost;
+    if (op_.pushed_predicate != nullptr) c += CostModel::kFilterRowCost;
+    if (!op_.pushed_projection.empty()) c += CostModel::kProjectRowCost;
+    return c;
+  }
+
+  Status ProjectInto(const Row& in, ExecContext* ctx, Row* out) const {
+    out->clear();
+    out->reserve(op_.pushed_projection.size());
+    for (const BExprPtr& e : op_.pushed_projection) {
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e, &in, ctx->Eval()));
+      out->push_back(std::move(v));
+    }
+    return Status::Ok();
+  }
+
+  void ChargeTail(ExecContext* ctx) {
+    if (charged_tail_) return;
+    int64_t dead = snapshot_ != nullptr ? snapshot_->dead_slots : 0;
+    ctx->Charge(CostModel::kSeqRowCost * static_cast<double>(dead));
+    charged_tail_ = true;
+  }
+
   const PhysSeqScan& op_;
-  std::vector<Row> rows_;
+  HeapSnapshotPtr snapshot_;
+  std::vector<Row> virtual_rows_;  // DMV rows (owned; stored scans share)
+  std::vector<const Row*> scratch_;
+  std::vector<char> keep_;
   size_t pos_ = 0;
-  int64_t dead_slots_ = 0;
   bool charged_tail_ = false;
 };
 
+// Index seek. The in-range row versions are pinned (refcounted, payload-free)
+// under one shared latch at Open; folded predicate/projection are applied at
+// emission exactly as in SeqScanExec.
 class IndexSeekExec : public ExecNode {
  public:
   explicit IndexSeekExec(const PhysIndexSeek& op) : op_(op) {}
@@ -167,8 +356,9 @@ class IndexSeekExec : public ExecNode {
       seek.push_back(std::move(v));
     }
 
-    // Walk the in-range index entries and copy the live rows out under one
-    // shared latch; the iterator never survives past this block.
+    // Walk the in-range index entries and pin the live row versions under
+    // one shared latch; the iterator never survives past this block and no
+    // payload is copied.
     SharedLatchWait latch(table->latch(), WaitSite::kTableLatchShared);
     const BPlusTree& index = table->index(op_.index_ordinal);
     BPlusTree::Iterator it;
@@ -193,32 +383,103 @@ class IndexSeekExec : public ExecNode {
         ++dead_entries_;
         continue;
       }
-      rows_.push_back(table->heap().Get(rid));
+      rows_.push_back(table->heap().GetRef(rid));
     }
     return Status::Ok();
   }
 
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
-    if (pos_ < rows_.size()) {
+    while (pos_ < rows_.size()) {
+      const Row& r = *rows_[pos_++];
       ctx->Charge(CostModel::kIndexRowCost);
-      *row = rows_[pos_++];
+      if (op_.pushed_predicate != nullptr) {
+        ctx->Charge(CostModel::kFilterRowCost);
+        MT_ASSIGN_OR_RETURN(
+            bool pass, EvalPredicate(*op_.pushed_predicate, &r, ctx->Eval()));
+        if (!pass) continue;
+      }
+      if (!op_.pushed_projection.empty()) {
+        ctx->Charge(CostModel::kProjectRowCost);
+        MT_RETURN_IF_ERROR(ProjectInto(r, ctx, row));
+      } else {
+        *row = r;
+      }
       return true;
     }
-    if (!charged_tail_) {
-      ctx->Charge(CostModel::kIndexRowCost *
-                  static_cast<double>(dead_entries_));
-      charged_tail_ = true;
-    }
+    ChargeTail(ctx);
     return false;
   }
 
-  void Close() override { rows_.clear(); }
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    while (batch->size() == 0 && pos_ < rows_.size()) {
+      size_t chunk = std::min(static_cast<size_t>(RowBatch::kMaxRows),
+                              rows_.size() - pos_);
+      ctx->Charge(CostModel::kIndexRowCost * static_cast<double>(chunk));
+      scratch_.clear();
+      scratch_.reserve(chunk);
+      for (size_t i = 0; i < chunk; ++i) {
+        scratch_.push_back(rows_[pos_ + i].get());
+      }
+      pos_ += chunk;
+      if (op_.pushed_predicate != nullptr) {
+        ctx->Charge(CostModel::kFilterRowCost * static_cast<double>(chunk));
+        MT_RETURN_IF_ERROR(EvalPredicateBatch(*op_.pushed_predicate, scratch_,
+                                              ctx->Eval(), &keep_));
+        size_t out = 0;
+        for (size_t i = 0; i < chunk; ++i) {
+          if (keep_[i]) scratch_[out++] = scratch_[i];
+        }
+        scratch_.resize(out);
+      }
+      if (!op_.pushed_projection.empty()) {
+        ctx->Charge(CostModel::kProjectRowCost *
+                    static_cast<double>(scratch_.size()));
+        for (const Row* r : scratch_) {
+          Row proj;
+          MT_RETURN_IF_ERROR(ProjectInto(*r, ctx, &proj));
+          batch->PushOwned(std::move(proj));
+        }
+      } else {
+        for (const Row* r : scratch_) batch->PushRef(r);
+      }
+    }
+    if (batch->size() > 0) return true;
+    ChargeTail(ctx);
+    return false;
+  }
 
-  int64_t MemoryBytes() const override { return RowsBytes(rows_); }
+  void Close() override {
+    rows_.clear();
+    scratch_.clear();
+  }
+
+  int64_t MemoryBytes() const override {
+    // Pinned pointers only; payloads belong to the table's version store.
+    return static_cast<int64_t>(rows_.size() * sizeof(RowPtr));
+  }
 
  private:
+  Status ProjectInto(const Row& in, ExecContext* ctx, Row* out) const {
+    out->clear();
+    out->reserve(op_.pushed_projection.size());
+    for (const BExprPtr& e : op_.pushed_projection) {
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e, &in, ctx->Eval()));
+      out->push_back(std::move(v));
+    }
+    return Status::Ok();
+  }
+
+  void ChargeTail(ExecContext* ctx) {
+    if (charged_tail_) return;
+    ctx->Charge(CostModel::kIndexRowCost * static_cast<double>(dead_entries_));
+    charged_tail_ = true;
+  }
+
   const PhysIndexSeek& op_;
-  std::vector<Row> rows_;
+  std::vector<RowPtr> rows_;
+  std::vector<const Row*> scratch_;
+  std::vector<char> keep_;
   size_t pos_ = 0;
   int64_t dead_entries_ = 0;
   bool charged_tail_ = false;
@@ -279,9 +540,30 @@ class FilterExec : public ExecNode {
     }
   }
 
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    if (!open_) return false;
+    if (op_.startup) return child_->NextBatch(ctx, batch);
+    // Surviving rows are passed through by reference; they stay owned by
+    // input_, which lives until our next NextBatch/Close.
+    while (batch->size() == 0) {
+      MT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &input_));
+      if (!more) return false;
+      ctx->Charge(CostModel::kFilterRowCost *
+                  static_cast<double>(input_.size()));
+      MT_RETURN_IF_ERROR(
+          EvalPredicateBatch(*op_.predicate, input_.rows, ctx->Eval(), &keep_));
+      for (size_t i = 0; i < input_.rows.size(); ++i) {
+        if (keep_[i]) batch->PushRef(input_.rows[i]);
+      }
+    }
+    return true;
+  }
+
   void Close() override {
     if (open_) child_->Close();
     open_ = false;
+    input_.Clear();
   }
 
  private:
@@ -291,6 +573,8 @@ class FilterExec : public ExecNode {
   // remote server (ChoosePlan's "remote" arm); computed once at build time.
   bool guards_remote_;
   bool open_ = false;
+  RowBatch input_;
+  std::vector<char> keep_;
 };
 
 class ProjectExec : public ExecNode {
@@ -314,14 +598,38 @@ class ProjectExec : public ExecNode {
     return true;
   }
 
-  void Close() override { child_->Close(); }
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    MT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &input_));
+    if (!more) return false;
+    ctx->Charge(CostModel::kProjectRowCost *
+                static_cast<double>(input_.size()));
+    for (const Row* in : input_.rows) {
+      Row out;
+      out.reserve(op_.exprs.size());
+      for (const BExprPtr& e : op_.exprs) {
+        MT_ASSIGN_OR_RETURN(Value v, EvalBound(*e, in, ctx->Eval()));
+        out.push_back(std::move(v));
+      }
+      batch->PushOwned(std::move(out));
+    }
+    return true;
+  }
+
+  void Close() override {
+    child_->Close();
+    input_.Clear();
+  }
 
  private:
   const PhysProject& op_;
   std::unique_ptr<ExecNode> child_;
+  RowBatch input_;
 };
 
-// Block nested loops: the inner (right) input is materialized at Open.
+// Block nested loops: the inner (right) input is materialized at Open. The
+// outer side streams through BatchRowReader under batch drive, so scans
+// below it still run copy-free.
 class NLJoinExec : public ExecNode {
  public:
   NLJoinExec(const PhysNLJoin& op, std::unique_ptr<ExecNode> left,
@@ -332,13 +640,12 @@ class NLJoinExec : public ExecNode {
     MT_RETURN_IF_ERROR(left_->Open(ctx));
     MT_RETURN_IF_ERROR(right_->Open(ctx));
     inner_.clear();
-    Row row;
-    while (true) {
-      MT_ASSIGN_OR_RETURN(bool more, right_->Next(ctx, &row));
-      if (!more) break;
+    MT_RETURN_IF_ERROR(DrainRows(right_.get(), ctx, [this](const Row& row) {
       inner_.push_back(row);
-    }
+      return Status::Ok();
+    }));
     right_->Close();
+    reader_.Reset(left_.get());
     have_outer_ = false;
     inner_pos_ = 0;
     return Status::Ok();
@@ -347,8 +654,14 @@ class NLJoinExec : public ExecNode {
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
     while (true) {
       if (!have_outer_) {
-        MT_ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &outer_));
-        if (!more) return false;
+        if (ctx->use_batch) {
+          MT_ASSIGN_OR_RETURN(const Row* o, reader_.Pull(ctx));
+          if (o == nullptr) return false;
+          outer_ = *o;
+        } else {
+          MT_ASSIGN_OR_RETURN(bool more, left_->Next(ctx, &outer_));
+          if (!more) return false;
+        }
         have_outer_ = true;
         outer_matched_ = false;
         inner_pos_ = 0;
@@ -394,13 +707,16 @@ class NLJoinExec : public ExecNode {
   std::unique_ptr<ExecNode> left_;
   std::unique_ptr<ExecNode> right_;
   std::vector<Row> inner_;
+  BatchRowReader reader_;
   Row outer_;
   bool have_outer_ = false;
   bool outer_matched_ = false;
   size_t inner_pos_ = 0;
 };
 
-// Index nested loops: seek the inner table's index once per outer row.
+// Index nested loops: seek the inner table's index once per outer row. The
+// matching inner row versions are pinned (payload-free) under one shared
+// latch per outer row.
 class IndexNLJoinExec : public ExecNode {
  public:
   IndexNLJoinExec(const PhysIndexNLJoin& op, std::unique_ptr<ExecNode> outer)
@@ -414,6 +730,7 @@ class IndexNLJoinExec : public ExecNode {
       return Status::Internal("no storage for table " + op_.inner_def->name);
     }
     MT_RETURN_IF_ERROR(outer_->Open(ctx));
+    reader_.Reset(outer_.get());
     have_outer_ = false;
     return Status::Ok();
   }
@@ -421,8 +738,14 @@ class IndexNLJoinExec : public ExecNode {
   StatusOr<bool> Next(ExecContext* ctx, Row* row) override {
     while (true) {
       if (!have_outer_) {
-        MT_ASSIGN_OR_RETURN(bool more, outer_->Next(ctx, &outer_row_));
-        if (!more) return false;
+        if (ctx->use_batch) {
+          MT_ASSIGN_OR_RETURN(const Row* o, reader_.Pull(ctx));
+          if (o == nullptr) return false;
+          outer_row_ = *o;
+        } else {
+          MT_ASSIGN_OR_RETURN(bool more, outer_->Next(ctx, &outer_row_));
+          if (!more) return false;
+        }
         have_outer_ = true;
         outer_matched_ = false;
         matches_.clear();
@@ -430,9 +753,9 @@ class IndexNLJoinExec : public ExecNode {
         const Value& key = outer_row_[op_.outer_key];
         ctx->Charge(CostModel::kIndexSeekCost);
         if (!key.is_null()) {  // NULL keys never match
-          // Copy this outer row's matching inner rows out under one shared
-          // latch; predicates/projections are evaluated on the copies below,
-          // after the latch is released.
+          // Pin this outer row's matching inner row versions under one
+          // shared latch; predicates/projections are evaluated below, after
+          // the latch is released.
           Row seek_key{key};
           int64_t entries = 0;
           {
@@ -445,14 +768,14 @@ class IndexNLJoinExec : public ExecNode {
               ++entries;
               RowId rid = it.rowid();
               if (!table_->heap().IsLive(rid)) continue;
-              matches_.push_back(table_->heap().Get(rid));
+              matches_.push_back(table_->heap().GetRef(rid));
             }
           }
           ctx->Charge(CostModel::kIndexRowCost * static_cast<double>(entries));
         }
       }
       while (match_pos_ < matches_.size()) {
-        const Row& inner = matches_[match_pos_++];
+        const Row& inner = *matches_[match_pos_++];
         if (op_.inner_predicate != nullptr) {
           MT_ASSIGN_OR_RETURN(
               bool pass,
@@ -498,13 +821,16 @@ class IndexNLJoinExec : public ExecNode {
     matches_.clear();
   }
 
-  int64_t MemoryBytes() const override { return RowsBytes(matches_); }
+  int64_t MemoryBytes() const override {
+    return static_cast<int64_t>(matches_.size() * sizeof(RowPtr));
+  }
 
  private:
   const PhysIndexNLJoin& op_;
   std::unique_ptr<ExecNode> outer_;
   StoredTable* table_ = nullptr;
-  std::vector<Row> matches_;
+  BatchRowReader reader_;
+  std::vector<RowPtr> matches_;
   size_t match_pos_ = 0;
   Row outer_row_;
   bool have_outer_ = false;
@@ -520,24 +846,25 @@ class HashJoinExec : public ExecNode {
   Status Open(ExecContext* ctx) override {
     MT_RETURN_IF_ERROR(build_->Open(ctx));
     table_.clear();
-    Row row;
-    while (true) {
-      MT_ASSIGN_OR_RETURN(bool more, build_->Next(ctx, &row));
-      if (!more) break;
-      ctx->Charge(CostModel::kHashBuildRowCost);
-      Row key;
-      bool has_null = false;
-      for (int k : op_.build_keys) {
-        if (row[k].is_null()) has_null = true;
-        key.push_back(row[k]);
-      }
-      if (has_null) continue;  // NULL keys never join
-      table_[key].push_back(row);
-    }
+    MT_RETURN_IF_ERROR(
+        DrainRows(build_.get(), ctx, [this, ctx](const Row& row) {
+          ctx->Charge(CostModel::kHashBuildRowCost);
+          Row key;
+          bool has_null = false;
+          for (int k : op_.build_keys) {
+            if (row[k].is_null()) has_null = true;
+            key.push_back(row[k]);
+          }
+          if (!has_null) table_[std::move(key)].push_back(row);
+          return Status::Ok();  // NULL keys never join
+        }));
     build_->Close();
     MT_RETURN_IF_ERROR(probe_->Open(ctx));
     match_list_ = nullptr;
     match_pos_ = 0;
+    probe_batch_.Clear();
+    probe_pos_ = 0;
+    probe_ptr_ = nullptr;
     return Status::Ok();
   }
 
@@ -562,10 +889,7 @@ class HashJoinExec : public ExecNode {
             op_.join_kind == JoinKind::kLeftOuter && !probe_matched_;
         match_list_ = nullptr;
         if (emit_null_extended) {
-          *row = probe_row_;
-          int right_width = op_.schema.num_columns() -
-                            static_cast<int>(probe_row_.size());
-          for (int i = 0; i < right_width; ++i) row->push_back(Value::Null());
+          *row = NullExtended(probe_row_);
           return true;
         }
       }
@@ -581,10 +905,7 @@ class HashJoinExec : public ExecNode {
       }
       if (has_null) {
         if (op_.join_kind == JoinKind::kLeftOuter) {
-          *row = probe_row_;
-          int right_width = op_.schema.num_columns() -
-                            static_cast<int>(probe_row_.size());
-          for (int i = 0; i < right_width; ++i) row->push_back(Value::Null());
+          *row = NullExtended(probe_row_);
           return true;
         }
         continue;
@@ -594,18 +915,72 @@ class HashJoinExec : public ExecNode {
         match_list_ = &it->second;
         match_pos_ = 0;
       } else if (op_.join_kind == JoinKind::kLeftOuter) {
-        *row = probe_row_;
-        int right_width =
-            op_.schema.num_columns() - static_cast<int>(probe_row_.size());
-        for (int i = 0; i < right_width; ++i) row->push_back(Value::Null());
+        *row = NullExtended(probe_row_);
         return true;
       }
     }
   }
 
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    while (!batch->full()) {
+      if (match_list_ != nullptr) {
+        while (match_pos_ < match_list_->size() && !batch->full()) {
+          const Row& build_row = (*match_list_)[match_pos_++];
+          Row combined = ConcatRows(*probe_ptr_, build_row);
+          bool pass = true;
+          if (op_.residual != nullptr) {
+            MT_ASSIGN_OR_RETURN(
+                pass, EvalPredicate(*op_.residual, &combined, ctx->Eval()));
+          }
+          if (pass) {
+            probe_matched_ = true;
+            batch->PushOwned(std::move(combined));
+          }
+        }
+        if (match_pos_ < match_list_->size()) break;  // batch full; resume
+        bool emit_null_extended =
+            op_.join_kind == JoinKind::kLeftOuter && !probe_matched_;
+        if (emit_null_extended && batch->full()) break;  // resume here
+        match_list_ = nullptr;
+        if (emit_null_extended) batch->PushOwned(NullExtended(*probe_ptr_));
+        continue;
+      }
+      if (probe_pos_ >= probe_batch_.size()) {
+        MT_ASSIGN_OR_RETURN(bool more, probe_->NextBatch(ctx, &probe_batch_));
+        probe_pos_ = 0;
+        if (!more) break;  // probe exhausted
+      }
+      probe_ptr_ = probe_batch_.rows[probe_pos_++];
+      ctx->Charge(CostModel::kHashProbeRowCost);
+      probe_matched_ = false;
+      Row key;
+      bool has_null = false;
+      for (int k : op_.probe_keys) {
+        if ((*probe_ptr_)[k].is_null()) has_null = true;
+        key.push_back((*probe_ptr_)[k]);
+      }
+      if (has_null) {
+        if (op_.join_kind == JoinKind::kLeftOuter) {
+          batch->PushOwned(NullExtended(*probe_ptr_));
+        }
+        continue;
+      }
+      auto it = table_.find(key);
+      if (it != table_.end()) {
+        match_list_ = &it->second;
+        match_pos_ = 0;
+      } else if (op_.join_kind == JoinKind::kLeftOuter) {
+        batch->PushOwned(NullExtended(*probe_ptr_));
+      }
+    }
+    return batch->size() > 0;
+  }
+
   void Close() override {
     probe_->Close();
     table_.clear();
+    probe_batch_.Clear();
   }
 
   int64_t MemoryBytes() const override {
@@ -618,11 +993,22 @@ class HashJoinExec : public ExecNode {
   }
 
  private:
+  Row NullExtended(const Row& left) const {
+    Row out = left;
+    int right_width =
+        op_.schema.num_columns() - static_cast<int>(left.size());
+    for (int i = 0; i < right_width; ++i) out.push_back(Value::Null());
+    return out;
+  }
+
   const PhysHashJoin& op_;
   std::unique_ptr<ExecNode> probe_;
   std::unique_ptr<ExecNode> build_;
   std::unordered_map<Row, std::vector<Row>, RowHasher, RowEq> table_;
-  Row probe_row_;
+  Row probe_row_;                      // row-path probe cursor
+  RowBatch probe_batch_;               // batch-path probe cursor
+  int64_t probe_pos_ = 0;
+  const Row* probe_ptr_ = nullptr;     // into probe_batch_
   bool probe_matched_ = false;
   const std::vector<Row>* match_list_ = nullptr;
   size_t match_pos_ = 0;
@@ -646,47 +1032,10 @@ class HashAggregateExec : public ExecNode {
     MT_RETURN_IF_ERROR(child_->Open(ctx));
     groups_.clear();
     order_.clear();
-    Row row;
-    while (true) {
-      MT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
-      if (!more) break;
-      ctx->Charge(CostModel::kAggRowCost);
-      Row key;
-      for (const BExprPtr& g : op_.group_by) {
-        MT_ASSIGN_OR_RETURN(Value v, EvalBound(*g, &row, ctx->Eval()));
-        key.push_back(std::move(v));
-      }
-      auto [it, inserted] =
-          groups_.try_emplace(key, std::vector<AggState>(op_.aggs.size()));
-      if (inserted) order_.push_back(&*it);
-      std::vector<AggState>& states = it->second;
-      for (size_t i = 0; i < op_.aggs.size(); ++i) {
-        const AggItem& item = op_.aggs[i];
-        AggState& st = states[i];
-        if (item.func == AggFunc::kCountStar) {
-          ++st.count;
-          continue;
-        }
-        MT_ASSIGN_OR_RETURN(Value v, EvalBound(*item.arg, &row, ctx->Eval()));
-        if (v.is_null()) continue;
-        ++st.count;
-        switch (item.func) {
-          case AggFunc::kSum:
-          case AggFunc::kAvg:
-            st.sum += v.AsDouble();
-            if (v.type() == TypeId::kDouble) st.sum_is_int = false;
-            break;
-          case AggFunc::kMin:
-            if (st.count == 1 || v.Compare(st.min) < 0) st.min = v;
-            break;
-          case AggFunc::kMax:
-            if (st.count == 1 || v.Compare(st.max) > 0) st.max = v;
-            break;
-          default:
-            break;
-        }
-      }
-    }
+    MT_RETURN_IF_ERROR(DrainRows(child_.get(), ctx, [this, ctx](
+                                                        const Row& row) {
+      return Absorb(row, ctx);
+    }));
     child_->Close();
     // Scalar aggregate over an empty input still produces one row.
     if (op_.group_by.empty() && groups_.empty()) {
@@ -745,6 +1094,46 @@ class HashAggregateExec : public ExecNode {
   }
 
  private:
+  Status Absorb(const Row& row, ExecContext* ctx) {
+    ctx->Charge(CostModel::kAggRowCost);
+    Row key;
+    for (const BExprPtr& g : op_.group_by) {
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*g, &row, ctx->Eval()));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] =
+        groups_.try_emplace(key, std::vector<AggState>(op_.aggs.size()));
+    if (inserted) order_.push_back(&*it);
+    std::vector<AggState>& states = it->second;
+    for (size_t i = 0; i < op_.aggs.size(); ++i) {
+      const AggItem& item = op_.aggs[i];
+      AggState& st = states[i];
+      if (item.func == AggFunc::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      MT_ASSIGN_OR_RETURN(Value v, EvalBound(*item.arg, &row, ctx->Eval()));
+      if (v.is_null()) continue;
+      ++st.count;
+      switch (item.func) {
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          st.sum += v.AsDouble();
+          if (v.type() == TypeId::kDouble) st.sum_is_int = false;
+          break;
+        case AggFunc::kMin:
+          if (st.count == 1 || v.Compare(st.min) < 0) st.min = v;
+          break;
+        case AggFunc::kMax:
+          if (st.count == 1 || v.Compare(st.max) > 0) st.max = v;
+          break;
+        default:
+          break;
+      }
+    }
+    return Status::Ok();
+  }
+
   const PhysHashAggregate& op_;
   std::unique_ptr<ExecNode> child_;
   std::unordered_map<Row, std::vector<AggState>, RowHasher, RowEq> groups_;
@@ -761,18 +1150,17 @@ class SortExec : public ExecNode {
     MT_RETURN_IF_ERROR(child_->Open(ctx));
     rows_.clear();
     std::vector<Row> keys;
-    Row row;
-    while (true) {
-      MT_ASSIGN_OR_RETURN(bool more, child_->Next(ctx, &row));
-      if (!more) break;
-      Row key;
-      for (const SortKey& k : op_.keys) {
-        MT_ASSIGN_OR_RETURN(Value v, EvalBound(*k.expr, &row, ctx->Eval()));
-        key.push_back(std::move(v));
-      }
-      keys.push_back(std::move(key));
-      rows_.push_back(std::move(row));
-    }
+    MT_RETURN_IF_ERROR(
+        DrainRows(child_.get(), ctx, [&](const Row& row) -> Status {
+          Row key;
+          for (const SortKey& k : op_.keys) {
+            MT_ASSIGN_OR_RETURN(Value v, EvalBound(*k.expr, &row, ctx->Eval()));
+            key.push_back(std::move(v));
+          }
+          keys.push_back(std::move(key));
+          rows_.push_back(row);
+          return Status::Ok();
+        }));
     child_->Close();
     double n = std::max<double>(rows_.size(), 2);
     ctx->Charge(CostModel::kSortRowCost * n * std::log2(n));
@@ -796,8 +1184,18 @@ class SortExec : public ExecNode {
 
   StatusOr<bool> Next(ExecContext*, Row* row) override {
     if (pos_ >= rows_.size()) return false;
-    *row = rows_[pos_++];
+    // The buffer is rebuilt on every Open, so hand rows off instead of
+    // copying them a second time.
+    *row = std::move(rows_[pos_++]);
     return true;
+  }
+
+  StatusOr<bool> NextBatch(ExecContext*, RowBatch* batch) override {
+    batch->Clear();
+    while (pos_ < rows_.size() && !batch->full()) {
+      batch->PushRef(&rows_[pos_++]);
+    }
+    return batch->size() > 0;
   }
 
   void Close() override { rows_.clear(); }
@@ -811,6 +1209,10 @@ class SortExec : public ExecNode {
   size_t pos_ = 0;
 };
 
+// Limit stays row-at-a-time on purpose: pulling whole batches from the child
+// would overshoot the limit (the child does work for rows that are then
+// discarded) and change cost/profile actuals relative to the demand-driven
+// contract. The inherited NextBatch adapter batches its output for parents.
 class LimitExec : public ExecNode {
  public:
   LimitExec(const PhysLimit& op, std::unique_ptr<ExecNode> child)
@@ -857,9 +1259,27 @@ class DistinctExec : public ExecNode {
     }
   }
 
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    while (batch->size() == 0) {
+      MT_ASSIGN_OR_RETURN(bool more, child_->NextBatch(ctx, &input_));
+      if (!more) return false;
+      ctx->Charge(CostModel::kDistinctRowCost *
+                  static_cast<double>(input_.size()));
+      for (const Row* r : input_.rows) {
+        auto [it, inserted] = seen_.insert(*r);
+        // unordered_set nodes are stable: the reference outlives rehashes
+        // and later inserts, so first-seen rows pass through by pointer.
+        if (inserted) batch->PushRef(&*it);
+      }
+    }
+    return true;
+  }
+
   void Close() override {
     child_->Close();
     seen_.clear();
+    input_.Clear();
   }
 
   int64_t MemoryBytes() const override {
@@ -871,6 +1291,7 @@ class DistinctExec : public ExecNode {
  private:
   std::unique_ptr<ExecNode> child_;
   std::unordered_set<Row, RowHasher, RowEq> seen_;
+  RowBatch input_;
 };
 
 class UnionAllExec : public ExecNode {
@@ -896,6 +1317,23 @@ class UnionAllExec : public ExecNode {
       }
       MT_ASSIGN_OR_RETURN(bool more, children_[current_]->Next(ctx, row));
       if (more) return true;
+      children_[current_]->Close();
+      ++current_;
+      opened_ = false;
+    }
+    return false;
+  }
+
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    batch->Clear();
+    while (current_ < children_.size()) {
+      if (!opened_) {
+        MT_RETURN_IF_ERROR(children_[current_]->Open(ctx));
+        opened_ = true;
+      }
+      MT_ASSIGN_OR_RETURN(bool more,
+                          children_[current_]->NextBatch(ctx, batch));
+      if (more) return true;  // batch borrows the (still-open) child's rows
       children_[current_]->Close();
       ++current_;
       opened_ = false;
@@ -938,8 +1376,17 @@ class RemoteQueryExec : public ExecNode {
 
   StatusOr<bool> Next(ExecContext*, Row* row) override {
     if (pos_ >= rows_.size()) return false;
-    *row = rows_[pos_++];
+    // Re-fetched on every Open; hand rows off instead of copying.
+    *row = std::move(rows_[pos_++]);
     return true;
+  }
+
+  StatusOr<bool> NextBatch(ExecContext*, RowBatch* batch) override {
+    batch->Clear();
+    while (pos_ < rows_.size() && !batch->full()) {
+      batch->PushRef(&rows_[pos_++]);
+    }
+    return batch->size() > 0;
   }
 
   void Close() override { rows_.clear(); }
@@ -979,6 +1426,17 @@ class ProfiledNode : public ExecNode {
     StatusOr<bool> more = inner_->Next(ctx, row);
     prof_->next_seconds += Elapsed(t0);
     if (more.ok() && more.value()) ++prof_->actual_rows;
+    return more;
+  }
+
+  // actual_rows stays an exact output-row count under either drive mode;
+  // next_calls counts NextBatch invocations on the batch path.
+  StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) override {
+    ++prof_->next_calls;
+    auto t0 = std::chrono::steady_clock::now();
+    StatusOr<bool> more = inner_->NextBatch(ctx, batch);
+    prof_->next_seconds += Elapsed(t0);
+    if (more.ok() && more.value()) prof_->actual_rows += batch->size();
     return more;
   }
 
@@ -1112,11 +1570,20 @@ StatusOr<QueryResult> ExecutePlan(const PhysicalOp& plan, ExecContext* ctx,
   MT_RETURN_IF_ERROR(root->Open(ctx));
   QueryResult result;
   result.schema = plan.schema;
-  Row row;
-  while (true) {
-    MT_ASSIGN_OR_RETURN(bool more, root->Next(ctx, &row));
-    if (!more) break;
-    result.rows.push_back(row);
+  if (ctx->use_batch) {
+    RowBatch batch;
+    while (true) {
+      MT_ASSIGN_OR_RETURN(bool more, root->NextBatch(ctx, &batch));
+      if (!more) break;
+      for (const Row* row : batch.rows) result.rows.push_back(*row);
+    }
+  } else {
+    Row row;
+    while (true) {
+      MT_ASSIGN_OR_RETURN(bool more, root->Next(ctx, &row));
+      if (!more) break;
+      result.rows.push_back(row);
+    }
   }
   root->Close();
   return result;

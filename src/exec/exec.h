@@ -1,6 +1,8 @@
 #ifndef MTCACHE_EXEC_EXEC_H_
 #define MTCACHE_EXEC_EXEC_H_
 
+#include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +49,13 @@ class StorageProvider {
   virtual StoredTable* GetStoredTable(const std::string& name) = 0;
 };
 
+/// Row filter pushed into virtual-table materialization: returns true iff
+/// the candidate row should be included. Evaluated against the DMV's output
+/// schema while its rows are being rendered, so a selective predicate (e.g.
+/// WHERE query_id = ?) stops non-matching registry entries from ever being
+/// accumulated or copied. A null function means no pushdown.
+using VirtualRowFilter = std::function<StatusOr<bool>(const Row&)>;
+
 /// Materializes rows for virtual tables (TableDef::virtual_table, the
 /// sys.dm_* DMVs). Implemented by engine::Server, which renders its
 /// MetricsRegistry at scan-open time.
@@ -54,7 +63,7 @@ class VirtualTableProvider {
  public:
   virtual ~VirtualTableProvider() = default;
   virtual StatusOr<std::vector<Row>> VirtualTableRows(
-      const std::string& name) = 0;
+      const std::string& name, const VirtualRowFilter& filter) = 0;
 };
 
 /// Runtime counters for dynamic-plan branch selection, bumped by FilterExec
@@ -87,6 +96,10 @@ struct ExecContext {
   ExecStats* stats = nullptr;
   VirtualTableProvider* virtual_tables = nullptr;
   ChoosePlanRuntimeStats* branch_stats = nullptr;  // may be null
+  /// Batch-at-a-time execution (NextBatch) vs the row-at-a-time Volcano
+  /// path. The row path is kept fully functional as the differential-test
+  /// oracle and for embedders that drive Next directly.
+  bool use_batch = true;
 
   void Charge(double cost) const {
     if (stats != nullptr) stats->local_cost += cost;
@@ -99,6 +112,32 @@ struct ExecContext {
   }
 };
 
+/// A batch of rows flowing between operators on the NextBatch path. Rows are
+/// exposed as `const Row*`: an operator that merely passes stored or
+/// child-owned rows along pushes pointers (PushRef, copy-free), while an
+/// operator that creates rows (projection, aggregation) parks them in the
+/// batch-owned `arena` (PushOwned — a deque, so earlier pointers stay stable
+/// as rows are appended). Pointers in `rows` are valid until the next
+/// NextBatch/Close call on the node that produced the batch.
+struct RowBatch {
+  static constexpr int kMaxRows = 1024;
+
+  std::vector<const Row*> rows;
+  std::deque<Row> arena;
+
+  void Clear() {
+    rows.clear();
+    arena.clear();
+  }
+  int64_t size() const { return static_cast<int64_t>(rows.size()); }
+  bool full() const { return rows.size() >= static_cast<size_t>(kMaxRows); }
+  void PushRef(const Row* row) { rows.push_back(row); }
+  void PushOwned(Row row) {
+    arena.push_back(std::move(row));
+    rows.push_back(&arena.back());
+  }
+};
+
 /// Volcano-style iterator. Open may be called again after Close (nested
 /// loops rescan their inner input).
 class ExecNode {
@@ -107,6 +146,23 @@ class ExecNode {
   virtual Status Open(ExecContext* ctx) = 0;
   /// Returns true and fills *row, or false at end of stream.
   virtual StatusOr<bool> Next(ExecContext* ctx, Row* row) = 0;
+  /// Batch-at-a-time variant: clears *batch, fills it with up to
+  /// RowBatch::kMaxRows rows, and returns true iff at least one row was
+  /// produced (short, non-empty batches are allowed mid-stream). Row pointers
+  /// remain valid until the next NextBatch/Close on this node. The default
+  /// adapts row-at-a-time Next, so every operator works under either drive
+  /// mode; hot operators override with a native batch implementation.
+  virtual StatusOr<bool> NextBatch(ExecContext* ctx, RowBatch* batch) {
+    batch->Clear();
+    Row row;
+    while (!batch->full()) {
+      auto more = Next(ctx, &row);
+      if (!more.ok()) return more.status();
+      if (!more.value()) break;
+      batch->PushOwned(std::move(row));
+    }
+    return batch->size() > 0;
+  }
   virtual void Close() {}
   /// Current bytes held in operator-private materializations (hash tables,
   /// sort buffers, scan snapshots). Sampled by the profiler after Open and

@@ -281,6 +281,121 @@ StatusOr<bool> EvalPredicate(const BoundExpr& expr, const Row* row,
   return !v.is_null() && v.AsBool();
 }
 
+namespace {
+
+// True for the comparison operators EvalCompare handles.
+bool IsCompareOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Comparison result against filter semantics: `c` is Value::Compare order of
+// (column, rhs); both sides known non-NULL.
+bool ComparePasses(BinaryOp op, int c) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+// Mirror of kNe etc. for the flipped operand order (rhs cmp column).
+BinaryOp FlipCompare(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // Eq/Ne are symmetric
+  }
+}
+
+}  // namespace
+
+Status EvalPredicateBatch(const BoundExpr& expr,
+                          const std::vector<const Row*>& rows,
+                          const EvalContext& ctx, std::vector<char>* keep) {
+  keep->assign(rows.size(), 1);
+  std::vector<const BoundExpr*> conjuncts;
+  CollectConjuncts(expr, &conjuncts);
+  for (const BoundExpr* conjunct : conjuncts) {
+    // Fast shape: <column> cmp <row-free expr> (either operand order).
+    // Evaluate the row-free side once, then one Compare per surviving row.
+    // SQL NULL semantics are preserved explicitly: a NULL on either side
+    // makes the comparison unknown, which a filter treats as rejection
+    // (Value::Compare alone would call NULL == NULL a match).
+    if (conjunct->kind == BoundExprKind::kBinary) {
+      const auto& bin = static_cast<const BoundBinary&>(*conjunct);
+      if (IsCompareOp(bin.op)) {
+        const BoundExpr* col = nullptr;
+        const BoundExpr* free_side = nullptr;
+        BinaryOp op = bin.op;
+        if (bin.left->kind == BoundExprKind::kColumnRef &&
+            IsRowFree(*bin.right)) {
+          col = bin.left.get();
+          free_side = bin.right.get();
+        } else if (bin.right->kind == BoundExprKind::kColumnRef &&
+                   IsRowFree(*bin.left)) {
+          col = bin.right.get();
+          free_side = bin.left.get();
+          op = FlipCompare(op);
+        }
+        if (col != nullptr) {
+          MT_ASSIGN_OR_RETURN(Value rhs, EvalBound(*free_side, nullptr, ctx));
+          if (rhs.is_null()) {
+            // cmp NULL is unknown for every row: nothing in the batch passes.
+            keep->assign(rows.size(), 0);
+            return Status::Ok();
+          }
+          int ordinal = static_cast<const BoundColumnRef&>(*col).ordinal;
+          // This loop is the first to touch each row's memory on a cold
+          // scan, so it eats two dependent DRAM misses per row (Row header,
+          // then the Value array). A two-stage prefetch pipeline — headers
+          // kAhead out, the tested Value one half-window out, by which time
+          // its header is already cached — overlaps those misses across
+          // iterations instead of serializing them.
+          constexpr size_t kAhead = 16;
+          const size_t n = rows.size();
+          for (size_t i = 0; i < n; ++i) {
+            if (i + kAhead < n) __builtin_prefetch(rows[i + kAhead]);
+            if (i + kAhead / 2 < n) {
+              __builtin_prefetch(rows[i + kAhead / 2]->data() + ordinal);
+            }
+            if (!(*keep)[i]) continue;
+            const Value& lhs = (*rows[i])[ordinal];
+            if (lhs.is_null() || !ComparePasses(op, lhs.Compare(rhs))) {
+              (*keep)[i] = 0;
+            }
+          }
+          continue;
+        }
+      }
+    }
+    // General conjunct: per-row evaluation on the rows still alive. AND of
+    // conjuncts is TRUE iff every conjunct is TRUE, so conjunct-wise
+    // filtering matches EvalPredicate over the whole tree.
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!(*keep)[i]) continue;
+      MT_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*conjunct, rows[i], ctx));
+      if (!pass) (*keep)[i] = 0;
+    }
+  }
+  return Status::Ok();
+}
+
 void CollectConjuncts(const BoundExpr& expr,
                       std::vector<const BoundExpr*>* out) {
   if (expr.kind == BoundExprKind::kBinary) {

@@ -134,6 +134,19 @@ StatusOr<Value> EvalBound(const BoundExpr& expr, const Row* row,
 StatusOr<bool> EvalPredicate(const BoundExpr& expr, const Row* row,
                              const EvalContext& ctx);
 
+/// Batch filter evaluation: sets (*keep)[i] to 1 iff `expr` evaluates to
+/// non-NULL TRUE on *rows[i], exactly as EvalPredicate would. The predicate
+/// is split into conjuncts once per batch; for the common
+/// column-compared-to-row-free-expression conjuncts the row-free side is
+/// evaluated once and each row costs a single Value::Compare — no per-row
+/// StatusOr<Value> temporaries. Rows already rejected by an earlier conjunct
+/// are skipped, and a conjunct whose row-free side is NULL rejects the whole
+/// batch without touching any row (NULL compares to unknown, never TRUE).
+/// Complex conjuncts fall back to EvalPredicate per surviving row.
+Status EvalPredicateBatch(const BoundExpr& expr,
+                          const std::vector<const Row*>& rows,
+                          const EvalContext& ctx, std::vector<char>* keep);
+
 // ---------------------------------------------------------------------------
 // Analysis utilities (used by the optimizer)
 // ---------------------------------------------------------------------------

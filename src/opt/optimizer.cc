@@ -423,27 +423,24 @@ StatusOr<PlanChoice> Planner::ScanAlternatives(const LogicalGet& get,
   std::vector<const BoundExpr*> conjuncts;
   if (predicate != nullptr) CollectConjuncts(*predicate, &conjuncts);
 
-  // --- Alternative 1: sequential scan + filter. ---
+  // --- Alternative 1: sequential scan with the filter folded in. ---
   PlanChoice best;
   {
     auto scan = std::make_unique<PhysSeqScan>();
     scan->def = get.def;
     scan->schema = get.schema;
     scan->est_rows = rows;
-    scan->est_cost = rows * CostModel::kSeqRowCost;
-    PhysicalPtr plan = std::move(scan);
     double cost = rows * CostModel::kSeqRowCost;
     if (predicate != nullptr) {
+      // Same cost formula as the unfused Filter(SeqScan) pair, but
+      // non-qualifying rows are rejected inside the scan (batchwise on the
+      // batch path) and never materialized or emitted.
       cost += rows * CostModel::kFilterRowCost;
-      auto filter = std::make_unique<PhysFilter>();
-      filter->predicate = CloneBound(*predicate);
-      filter->schema = get.schema;
-      filter->est_rows = out_rows;
-      filter->est_cost = cost;
-      filter->children.push_back(std::move(plan));
-      plan = std::move(filter);
+      scan->pushed_predicate = CloneBound(*predicate);
+      scan->est_rows = out_rows;
     }
-    best.plan = std::move(plan);
+    scan->est_cost = cost;
+    best.plan = std::move(scan);
     best.cost = cost;
     ++*alternatives_;
   }
@@ -523,10 +520,8 @@ StatusOr<PlanChoice> Planner::ScanAlternatives(const LogicalGet& get,
       seek->hi_inclusive = hi_incl;
       seek->schema = get.schema;
       seek->est_rows = fetched;
-      seek->est_cost = cost;
-      PhysicalPtr plan = std::move(seek);
 
-      // Residual: every conjunct not used by the seek.
+      // Residual conjuncts (not used by the seek) fold into the seek too.
       std::vector<BExprPtr> residual;
       for (const BoundExpr* c : conjuncts) {
         bool was_used = false;
@@ -540,17 +535,13 @@ StatusOr<PlanChoice> Planner::ScanAlternatives(const LogicalGet& get,
       }
       if (!residual.empty()) {
         cost += fetched * CostModel::kFilterRowCost;
-        auto filter = std::make_unique<PhysFilter>();
-        filter->predicate = AndTogether(std::move(residual));
-        filter->schema = get.schema;
-        filter->est_rows = out_rows;
-        filter->est_cost = cost;
-        filter->children.push_back(std::move(plan));
-        plan = std::move(filter);
+        seek->pushed_predicate = AndTogether(std::move(residual));
+        seek->est_rows = out_rows;
       }
+      seek->est_cost = cost;
       ++*alternatives_;
       if (cost < best.cost) {
-        best.plan = std::move(plan);
+        best.plan = std::move(seek);
         best.cost = cost;
       }
     }
@@ -641,6 +632,26 @@ StatusOr<PlanResult> Planner::Plan(const LogicalOp& node) {
       MT_ASSIGN_OR_RETURN(PlanResult child, Plan(*node.children[0]));
       MT_ASSIGN_OR_RETURN(PlanChoice delivered, DeliverLocal(std::move(child)));
       double cost = delivered.cost + result.rows * CostModel::kProjectRowCost;
+      // Fold the projection into a local scan directly below: qualifying
+      // rows are rewritten at the scan and intermediate full-width rows are
+      // never produced. Expressions stay valid because a (possibly
+      // predicate-folded) scan still exposes the table schema.
+      PhysicalOp* dp = delivered.plan.get();
+      std::vector<BExprPtr>* slot = nullptr;
+      if (dp->kind == PhysicalKind::kSeqScan) {
+        slot = &static_cast<PhysSeqScan*>(dp)->pushed_projection;
+      } else if (dp->kind == PhysicalKind::kIndexSeek) {
+        slot = &static_cast<PhysIndexSeek*>(dp)->pushed_projection;
+      }
+      if (slot != nullptr && slot->empty()) {
+        for (const auto& e : project.exprs) slot->push_back(CloneBound(*e));
+        dp->schema = node.schema;
+        dp->est_rows = result.rows;
+        dp->est_cost = cost;
+        result.local_plan = std::move(delivered.plan);
+        result.local_cost = cost;
+        return result;
+      }
       auto phys = std::make_unique<PhysProject>();
       for (const auto& e : project.exprs) phys->exprs.push_back(CloneBound(*e));
       phys->schema = node.schema;

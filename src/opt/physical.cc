@@ -2,16 +2,42 @@
 
 namespace mtcache {
 
+namespace {
+
+// " [pred: ...] [proj: ...]" annotations for scans with folded-in filter /
+// projection; appended after the base label so plan-shape matching on
+// "SeqScan(name)" / "IndexSeek(name.idx)" keeps working.
+std::string PushdownSuffix(const BExprPtr& pred,
+                           const std::vector<BExprPtr>& proj) {
+  std::string out;
+  if (pred != nullptr) out += " [pred: " + BoundToSql(*pred) + "]";
+  if (!proj.empty()) {
+    out += " [proj: ";
+    for (size_t i = 0; i < proj.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += BoundToSql(*proj[i]);
+    }
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string PhysicalOpLabel(const PhysicalOp& op) {
   switch (op.kind) {
     case PhysicalKind::kDualScan:
       return "DualScan";
-    case PhysicalKind::kSeqScan:
-      return "SeqScan(" + static_cast<const PhysSeqScan&>(op).def->name + ")";
+    case PhysicalKind::kSeqScan: {
+      const auto& o = static_cast<const PhysSeqScan&>(op);
+      return "SeqScan(" + o.def->name + ")" +
+             PushdownSuffix(o.pushed_predicate, o.pushed_projection);
+    }
     case PhysicalKind::kIndexSeek: {
       const auto& o = static_cast<const PhysIndexSeek&>(op);
       return "IndexSeek(" + o.def->name + "." +
-             o.def->indexes[o.index_ordinal].name + ")";
+             o.def->indexes[o.index_ordinal].name + ")" +
+             PushdownSuffix(o.pushed_predicate, o.pushed_projection);
     }
     case PhysicalKind::kFilter: {
       const auto& o = static_cast<const PhysFilter&>(op);

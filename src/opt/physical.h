@@ -56,6 +56,13 @@ struct PhysDualScan : PhysicalOp {
 struct PhysSeqScan : PhysicalOp {
   PhysSeqScan() : PhysicalOp(PhysicalKind::kSeqScan) {}
   const TableDef* def = nullptr;
+  /// Filter folded into the scan (over the table schema): non-qualifying
+  /// rows are never materialized or emitted. Null = emit every live row.
+  BExprPtr pushed_predicate;
+  /// Projection folded into the scan (over the table schema): qualifying
+  /// rows are rewritten to these expressions at the scan. Empty = emit
+  /// stored rows unchanged. When set, `schema` is the projected schema.
+  std::vector<BExprPtr> pushed_projection;
 };
 
 /// B+-tree range access: equality on a key prefix, then an optional range on
@@ -69,6 +76,10 @@ struct PhysIndexSeek : PhysicalOp {
   bool lo_inclusive = true;
   BExprPtr hi;                      // optional upper bound on next column
   bool hi_inclusive = true;
+  /// Residual filter / projection folded into the seek; same contract as
+  /// PhysSeqScan's pushed_predicate / pushed_projection.
+  BExprPtr pushed_predicate;
+  std::vector<BExprPtr> pushed_projection;
 };
 
 struct PhysFilter : PhysicalOp {

@@ -10,14 +10,15 @@ namespace mtcache {
 
 RowId HeapTable::Insert(Row row) {
   RowId rid;
+  RowPtr version = std::make_shared<const Row>(std::move(row));
   if (!free_list_.empty()) {
     rid = free_list_.back();
     free_list_.pop_back();
-    rows_[rid] = std::move(row);
+    rows_[rid] = std::move(version);
     live_[rid] = true;
   } else {
     rid = static_cast<RowId>(rows_.size());
-    rows_.push_back(std::move(row));
+    rows_.push_back(std::move(version));
     live_.push_back(true);
   }
   ++live_count_;
@@ -38,7 +39,7 @@ void HeapTable::RestoreAt(RowId rid, Row row) {
       break;
     }
   }
-  rows_[rid] = std::move(row);
+  rows_[rid] = std::make_shared<const Row>(std::move(row));
   live_[rid] = true;
   ++live_count_;
 }
@@ -46,7 +47,8 @@ void HeapTable::RestoreAt(RowId rid, Row row) {
 bool HeapTable::Delete(RowId rid) {
   if (!IsLive(rid)) return false;
   live_[rid] = false;
-  rows_[rid].clear();
+  // Drop this slot's reference; in-flight snapshots keep the version alive.
+  rows_[rid].reset();
   free_list_.push_back(rid);
   --live_count_;
   return true;
@@ -54,13 +56,44 @@ bool HeapTable::Delete(RowId rid) {
 
 bool HeapTable::Update(RowId rid, Row row) {
   if (!IsLive(rid)) return false;
-  rows_[rid] = std::move(row);
+  // Install a new version rather than mutating in place: snapshots taken
+  // before this update still point at the old, fully-formed row.
+  rows_[rid] = std::make_shared<const Row>(std::move(row));
   return true;
 }
 
 StoredTable::StoredTable(TableDef* def, LogManager* log)
     : def_(def), log_(log) {
   indexes_.resize(def_->indexes.size());
+}
+
+HeapSnapshotPtr StoredTable::ScanSnapshot() const {
+  {
+    std::lock_guard<std::mutex> cache(snapshot_mu_);
+    if (snapshot_ != nullptr) return snapshot_;
+  }
+  // Cold path: assemble the live-row pointer vector under the shared table
+  // latch (mutations excluded), then publish while the latch is still held —
+  // an invalidating writer has to wait for the latch, so it can never be
+  // overtaken by this publish.
+  SharedLatchWait latch(latch_, WaitSite::kTableLatchShared);
+  auto snap = std::make_shared<HeapSnapshot>();
+  snap->rows.reserve(heap_.live_count());
+  for (RowId rid = 0; rid < heap_.slot_count(); ++rid) {
+    if (heap_.IsLive(rid)) {
+      snap->rows.push_back(heap_.GetRef(rid));
+    } else {
+      ++snap->dead_slots;
+    }
+  }
+  std::lock_guard<std::mutex> cache(snapshot_mu_);
+  if (snapshot_ == nullptr) snapshot_ = std::move(snap);
+  return snapshot_;
+}
+
+void StoredTable::InvalidateSnapshot() {
+  std::lock_guard<std::mutex> cache(snapshot_mu_);
+  snapshot_.reset();
 }
 
 Row StoredTable::IndexKey(int i, const Row& row) const {
@@ -109,6 +142,7 @@ StatusOr<RowId> StoredTable::Insert(const Row& row, Transaction* txn) {
   MT_RETURN_IF_ERROR(CheckUnique(row, -1));
   RowId rid = heap_.Insert(row);
   IndexInsert(row, rid);
+  InvalidateSnapshot();
   if (log_ != nullptr) {
     LogRecord rec;
     rec.txn = txn->id();
@@ -129,6 +163,7 @@ Status StoredTable::Delete(RowId rid, Transaction* txn) {
   Row before = heap_.Get(rid);
   IndexErase(before, rid);
   heap_.Delete(rid);
+  InvalidateSnapshot();
   if (log_ != nullptr) {
     LogRecord rec;
     rec.txn = txn->id();
@@ -155,6 +190,7 @@ Status StoredTable::Update(RowId rid, const Row& new_row, Transaction* txn) {
   IndexErase(before, rid);
   heap_.Update(rid, new_row);
   IndexInsert(new_row, rid);
+  InvalidateSnapshot();
   if (log_ != nullptr) {
     LogRecord rec;
     rec.txn = txn->id();
@@ -173,12 +209,14 @@ void StoredTable::PhysicalDelete(RowId rid) {
   if (!heap_.IsLive(rid)) return;
   IndexErase(heap_.Get(rid), rid);
   heap_.Delete(rid);
+  InvalidateSnapshot();
 }
 
 void StoredTable::PhysicalRestore(RowId rid, const Row& row) {
   ExclusiveLatchWait latch(latch_, WaitSite::kTableLatchExclusive);
   heap_.RestoreAt(rid, row);
   IndexInsert(row, rid);
+  InvalidateSnapshot();
 }
 
 void StoredTable::PhysicalUpdate(RowId rid, const Row& row) {
@@ -187,6 +225,7 @@ void StoredTable::PhysicalUpdate(RowId rid, const Row& row) {
   IndexErase(heap_.Get(rid), rid);
   heap_.Update(rid, row);
   IndexInsert(row, rid);
+  InvalidateSnapshot();
 }
 
 void StoredTable::AddIndex() {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -16,6 +17,23 @@
 namespace mtcache {
 
 class Transaction;
+
+/// A heap row version. Rows are immutable once installed: DML installs a new
+/// version (a fresh shared_ptr) instead of mutating in place, so a scan
+/// snapshot taken before the change keeps the old payload alive and never
+/// observes a torn row.
+using RowPtr = std::shared_ptr<const Row>;
+
+/// One consistent, immutable view of a table's live rows, shared refcounted
+/// between the table's snapshot cache and any number of in-flight scans.
+/// `rows` holds the live rows in slot order; `dead_slots` is how many slots
+/// were skipped (scans charge the dead remainder for costing parity with a
+/// slot-by-slot walk).
+struct HeapSnapshot {
+  std::vector<RowPtr> rows;
+  int64_t dead_slots = 0;
+};
+using HeapSnapshotPtr = std::shared_ptr<const HeapSnapshot>;
 
 /// Slotted in-memory row store. RowIds are slot numbers; deleted slots go to
 /// a free list and may be reused (a reuse bumps nothing — replication
@@ -31,12 +49,16 @@ class HeapTable {
   bool IsLive(RowId rid) const {
     return rid >= 0 && rid < static_cast<RowId>(rows_.size()) && live_[rid];
   }
-  const Row& Get(RowId rid) const { return rows_[rid]; }
+  /// Callers must check IsLive first: a dead slot holds no row version.
+  const Row& Get(RowId rid) const { return *rows_[rid]; }
+  /// The refcounted version at `rid`, for snapshot assembly (no payload
+  /// copy). Same liveness contract as Get.
+  const RowPtr& GetRef(RowId rid) const { return rows_[rid]; }
   int64_t live_count() const { return live_count_; }
   RowId slot_count() const { return static_cast<RowId>(rows_.size()); }
 
  private:
-  std::vector<Row> rows_;
+  std::vector<RowPtr> rows_;
   std::vector<bool> live_;
   std::vector<RowId> free_list_;
   int64_t live_count_ = 0;
@@ -107,16 +129,34 @@ class StoredTable {
   /// executor and engine read paths can take shared guards.
   std::shared_mutex& latch() const { return latch_; }
 
+  /// An immutable snapshot of the live rows, built lazily and cached until
+  /// the next mutation. A repeat scan of an unchanged table is O(1): it
+  /// bumps one refcount and shares the cached row-pointer vector. A cold
+  /// snapshot is built under a briefly-held shared latch in O(slots) pointer
+  /// copies — row payloads are never copied. The returned snapshot stays
+  /// valid (and its rows torn-free) for as long as the caller holds it, no
+  /// matter what DML runs meanwhile.
+  HeapSnapshotPtr ScanSnapshot() const;
+
  private:
   Status CheckUnique(const Row& row, RowId ignore_rid) const;
   void IndexInsert(const Row& row, RowId rid);
   void IndexErase(const Row& row, RowId rid);
+  /// Drops the cached snapshot. Called by every mutation while it holds the
+  /// exclusive latch, so a concurrent ScanSnapshot (shared latch) can never
+  /// publish a stale cache over the invalidation.
+  void InvalidateSnapshot();
 
   TableDef* def_;
   LogManager* log_;
   HeapTable heap_;
   std::vector<BPlusTree> indexes_;
   mutable std::shared_mutex latch_;
+  /// Guards snapshot_ only (the cache slot, not the snapshot contents —
+  /// those are immutable). Separate from latch_ so two concurrent cold
+  /// readers, both holding latch_ shared, can still race to publish safely.
+  mutable std::mutex snapshot_mu_;
+  mutable HeapSnapshotPtr snapshot_;
 };
 
 /// Undo entry captured by StoredTable mutations.
