@@ -12,6 +12,9 @@
 #   scripts/check.sh batch    # batched-executor gate: batch-vs-row
 #                             # differential corpus + scan memory regression,
 #                             # then the scan-throughput bench in smoke mode
+#   scripts/check.sh exp3     # fleet gate: deterministic-replay/convergence
+#                             # tests (ctest -L fleet) + the exp3 fleet sweep
+#                             # in smoke mode, emitting BENCH_exp3_tpcw.json
 #
 # The asan mode exercises the crash/restart paths with memory checking on:
 # replication_fault_test (incl. the 200-seed randomized schedules),
@@ -51,11 +54,13 @@ case "$mode" in
   tsan)
     cmake --preset tsan
     cmake --build --preset tsan -j "$(nproc)" --target \
-      concurrency_test dmv_test exp1_baseline_throughput
+      concurrency_test dmv_test fleet_test exp1_baseline_throughput
     # halt_on_error: the first data race fails the suite instead of
     # scrolling past; second_deadlock_stack helps debug lock inversions.
+    # The fleet label rides along: its DES runs are single-threaded by
+    # design, so any TSan report there is a real bug in the shared layers.
     export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-    (cd build-tsan && ctest --output-on-failure -L concurrency)
+    (cd build-tsan && ctest --output-on-failure -L 'concurrency|fleet')
     ./build-tsan/bench/exp1_baseline_throughput --threads 4 --smoke
     ;;
   profile)
@@ -85,8 +90,23 @@ case "$mode" in
     exp2_out="$(./build/bench/exp2_scan_throughput --smoke)"
     grep -q '"scanned_rows_per_sec"' <<<"$exp2_out"
     ;;
+  exp3)
+    cmake --preset default
+    cmake --build --preset default -j "$(nproc)" --target \
+      fleet_test tpcw_test exp3_tpcw
+    # Deterministic replay, fleet-wide convergence (clean + fault storm),
+    # and the mix-conformance suite the fleet's interaction stream rests on.
+    (cd build && ctest --output-on-failure -j "$(nproc)" -L fleet)
+    (cd build && ctest --output-on-failure -R 'Mix|AllMixInteractions')
+    # The sweep in smoke mode: shape checks (offload monotone in cached
+    # fraction, QPS growing with caches) run inside the binary; the JSON
+    # artifact must carry results and the lag DMV snapshot.
+    ./build/bench/exp3_tpcw --smoke --out build/BENCH_exp3_tpcw.json
+    grep -q '"dm_repl_lag_histogram"' build/BENCH_exp3_tpcw.json
+    grep -q '"offload_pct"' build/BENCH_exp3_tpcw.json
+    ;;
   *)
-    echo "usage: $0 [default|asan|tsan|profile|batch]" >&2
+    echo "usage: $0 [default|asan|tsan|profile|batch|exp3]" >&2
     exit 2
     ;;
 esac

@@ -158,6 +158,16 @@ class ReplicationSystem {
   const ReplicationMetrics& metrics() const { return metrics_; }
   void ResetMetrics() { metrics_ = ReplicationMetrics(); }
 
+  /// Folds externally measured commit→apply lag samples into the pipeline
+  /// metrics. The DES fleet simulation replays profiled replication work on
+  /// virtual machines and records each transaction's simulated lag here, so
+  /// sys.dm_repl_lag_histogram (served off metrics().lag_histogram) reports
+  /// the simulated fleet's distribution through the same DMV path as a real
+  /// run's.
+  void MergeLagHistogram(const LogHistogram& lag) {
+    metrics_.lag_histogram.Merge(lag);
+  }
+
   /// Snapshots of all live subscriptions (see SubscriptionInfo).
   std::vector<SubscriptionInfo> DescribeSubscriptions() const;
 

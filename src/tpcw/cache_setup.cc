@@ -1,5 +1,7 @@
 #include "tpcw/cache_setup.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 #include "tpcw/procs.h"
 
@@ -7,13 +9,39 @@ namespace mtcache {
 namespace tpcw {
 
 Status SetupTpcwCache(MTCache* mtcache, const TpcwConfig& config) {
-  (void)config;
-  static const char* const kCachedTables[] = {"item", "author", "orders",
-                                              "order_line"};
-  for (const char* table : kCachedTables) {
+  return SetupTpcwCache(mtcache, config, 1.0);
+}
+
+Status SetupTpcwCache(MTCache* mtcache, const TpcwConfig& config,
+                      double cached_fraction) {
+  // Primary-key column and loaded row population per cacheable table; the
+  // fraction dial cuts each table's cached range on its key. order_line has
+  // no single-column pk, so its range rides on ol_o_id, keeping it aligned
+  // with the orders range (an order's lines are cached iff the order is).
+  struct CachedTable {
+    const char* table;
+    const char* key;
+    int64_t rows;
+  };
+  const CachedTable kCachedTables[] = {
+      {"item", "i_id", config.num_items},
+      {"author", "a_id", config.num_authors},
+      {"orders", "o_id", config.num_orders},
+      {"order_line", "ol_o_id", config.num_orders},
+  };
+  for (const CachedTable& entry : kCachedTables) {
+    if (cached_fraction <= 0) break;
+    const char* table = entry.table;
     std::string view = std::string(table) + "_cache";
-    MT_RETURN_IF_ERROR(mtcache->CreateCachedView(
-        view, "SELECT * FROM " + std::string(table)));
+    std::string select = "SELECT * FROM " + std::string(table);
+    if (cached_fraction < 1.0) {
+      int64_t bound = static_cast<int64_t>(
+          std::llround(std::ceil(cached_fraction * entry.rows)));
+      if (bound < 1) bound = 1;
+      select += " WHERE " + std::string(entry.key) +
+                " <= " + std::to_string(bound);
+    }
+    MT_RETURN_IF_ERROR(mtcache->CreateCachedView(view, select));
     // Mirror the backend's secondary indexes (the pk index is created with
     // the view). Full-column projections keep column names identical.
     const TableDef* base =

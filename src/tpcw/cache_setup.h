@@ -15,6 +15,19 @@ namespace tpcw {
 /// the read-dominated procedures copied over.
 Status SetupTpcwCache(MTCache* mtcache, const TpcwConfig& config);
 
+/// Same strategy, but each cached view covers only the first
+/// ceil(cached_fraction * rows) of its base table by primary key — the
+/// "fraction of data cached" dial of the fleet experiments. The views carry
+/// a range predicate, so their replication articles filter rows (§2.2) and
+/// the optimizer matches them only where the predicate is provably implied:
+/// parameterized point lookups get the §5 dynamic plans (local inside the
+/// range, remote outside), while queries without a key conjunct fall back to
+/// the backend entirely. cached_fraction >= 1 creates the full views;
+/// cached_fraction <= 0 creates none (procedures are still copied, so every
+/// statement executes locally and fetches remotely).
+Status SetupTpcwCache(MTCache* mtcache, const TpcwConfig& config,
+                      double cached_fraction);
+
 }  // namespace tpcw
 }  // namespace mtcache
 

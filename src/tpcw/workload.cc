@@ -87,7 +87,28 @@ int MixIndex(WorkloadMix mix) {
   return 1;
 }
 
+double MixTotal(WorkloadMix mix) {
+  const double* table = kMixTable[MixIndex(mix)];
+  double total = 0;
+  for (int i = 0; i < kNumInteractions; ++i) total += table[i];
+  return total;
+}
+
 }  // namespace
+
+double MixFraction(WorkloadMix mix, Interaction kind) {
+  return kMixTable[MixIndex(mix)][static_cast<int>(kind)] / MixTotal(mix);
+}
+
+Interaction PickInteraction(WorkloadMix mix, double u01) {
+  const double* table = kMixTable[MixIndex(mix)];
+  double x = u01 * MixTotal(mix);
+  for (int i = 0; i < kNumInteractions; ++i) {
+    x -= table[i];
+    if (x <= 0) return static_cast<Interaction>(i);
+  }
+  return Interaction::kHome;
+}
 
 TpcwDriver::TpcwDriver(Server* connection, const TpcwConfig& config,
                        uint64_t seed, int driver_index, int driver_stride)
@@ -104,20 +125,13 @@ std::string TpcwDriver::RandomSubject() {
 }
 
 Interaction TpcwDriver::Pick(WorkloadMix mix) {
-  const double* table = kMixTable[MixIndex(mix)];
-  double total = 0;
-  for (int i = 0; i < kNumInteractions; ++i) total += table[i];
-  double x = rng_.NextDouble() * total;
-  for (int i = 0; i < kNumInteractions; ++i) {
-    x -= table[i];
-    if (x <= 0) return static_cast<Interaction>(i);
-  }
-  return Interaction::kHome;
+  return PickInteraction(mix, rng_.NextDouble());
 }
 
 StatusOr<ExecStats> TpcwDriver::Call(const std::string& proc,
                                      const std::vector<Value>& args) {
   ExecStats stats;
+  ++statements_issued_;
   MT_RETURN_IF_ERROR(server_->CallProcedure(proc, args, &stats).status());
   return stats;
 }

@@ -42,6 +42,17 @@ const char* MixName(WorkloadMix mix);
 /// 0.95 / 0.80 / 0.50.
 double BrowseFraction(WorkloadMix mix);
 
+/// Relative frequency (in [0, 1]) of one interaction in one mix, straight
+/// from the TPC-W §6 WIPSb/WIPS/WIPSo tables. Sums to 1 over the fourteen
+/// interactions of a mix. Public so conformance tests and the fleet
+/// simulator draw from the same tables as the driver.
+double MixFraction(WorkloadMix mix, Interaction kind);
+
+/// Maps a uniform draw u01 in [0, 1) to an interaction according to the
+/// mix's frequency table. TpcwDriver::Pick and the DES fleet both route
+/// through this, so a simulated session and a real one see identical mixes.
+Interaction PickInteraction(WorkloadMix mix, double u01);
+
 /// Emulates the database portion of TPC-W user sessions against one SQL
 /// connection target (the backend directly, or an MTCache server — switching
 /// between the two is the "ODBC re-routing" of §4 and requires no change
@@ -67,6 +78,12 @@ class TpcwDriver {
 
   int64_t interactions_run() const { return interactions_run_; }
 
+  /// Statements issued at the connection's tier (procedure calls the driver
+  /// routed to its session). Together with ExecStats::remote_queries this
+  /// splits an interaction's statement count between the cache tier and the
+  /// backend — the per-tier QPS accounting of the fleet experiments.
+  int64_t statements_issued() const { return statements_issued_; }
+
  private:
   struct Cart {
     int64_t id = 0;
@@ -91,6 +108,7 @@ class TpcwDriver {
   int64_t id_stride_;
   std::vector<Cart> carts_;
   int64_t interactions_run_ = 0;
+  int64_t statements_issued_ = 0;
 };
 
 }  // namespace tpcw

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -160,6 +161,74 @@ TEST_F(TpcwBackendTest, MixClassFrequenciesMatchPaperTable) {
     }
     EXPECT_NEAR(browse / static_cast<double>(n), c.expect, 0.02)
         << MixName(c.mix);
+  }
+}
+
+// Per-interaction conformance to the TPC-W §6 mix tables: at 30k draws every
+// one of the fourteen interaction frequencies matches MixFraction within a
+// 5-sigma binomial band (plus a small floor for the sub-percent rows). The
+// draws go through TpcwDriver::Pick, the same path every workload run uses.
+TEST_F(TpcwBackendTest, MixInteractionFrequenciesMatchSpecTables) {
+  const int n = 30000;
+  for (WorkloadMix mix : {WorkloadMix::kBrowsing, WorkloadMix::kShopping,
+                          WorkloadMix::kOrdering}) {
+    TpcwDriver driver(&backend_, config_, 29);
+    int counts[kNumInteractions] = {};
+    double total = 0;
+    for (int i = 0; i < n; ++i) ++counts[static_cast<int>(driver.Pick(mix))];
+    for (int t = 0; t < kNumInteractions; ++t) {
+      Interaction kind = static_cast<Interaction>(t);
+      double expect = MixFraction(mix, kind);
+      total += expect;
+      double sigma = std::sqrt(expect * (1 - expect) / n);
+      double observed = counts[t] / static_cast<double>(n);
+      EXPECT_NEAR(observed, expect, 5 * sigma + 0.001)
+          << MixName(mix) << "/" << InteractionName(kind);
+    }
+    // The frequency table itself is a distribution.
+    EXPECT_NEAR(total, 1.0, 1e-9) << MixName(mix);
+  }
+}
+
+TEST_F(TpcwBackendTest, PickInteractionCoversUnitInterval) {
+  // Boundary draws map to valid interactions; 0 maps to the first
+  // non-zero-frequency entry and draws just under 1 to the last.
+  for (WorkloadMix mix : {WorkloadMix::kBrowsing, WorkloadMix::kShopping,
+                          WorkloadMix::kOrdering}) {
+    Interaction first = PickInteraction(mix, 0.0);
+    Interaction last = PickInteraction(mix, 0.999999999);
+    EXPECT_GT(MixFraction(mix, first), 0) << MixName(mix);
+    EXPECT_GT(MixFraction(mix, last), 0) << MixName(mix);
+  }
+}
+
+// Every interaction a mix can draw executes without error against the
+// seeded schema — a sustained RunNext stream per mix, long enough that the
+// common interactions all occur, plus an explicit pass over all fourteen
+// kinds (catching the rare ones a finite stream may miss).
+TEST_F(TpcwBackendTest, AllMixInteractionsExecuteWithoutError) {
+  int mix_index = 0;
+  for (WorkloadMix mix : {WorkloadMix::kBrowsing, WorkloadMix::kShopping,
+                          WorkloadMix::kOrdering}) {
+    // One driver per mix, each in its own client-id residue class so the
+    // three streams' generated carts/orders/customers never collide.
+    TpcwDriver driver(&backend_, config_, 31, /*driver_index=*/mix_index++,
+                      /*driver_stride=*/3);
+    int64_t statements_before = driver.statements_issued();
+    for (int i = 0; i < 200; ++i) {
+      auto result = driver.RunNext(mix);
+      ASSERT_TRUE(result.ok())
+          << MixName(mix) << " draw " << i << ": "
+          << result.status().ToString();
+    }
+    EXPECT_GT(driver.statements_issued(), statements_before) << MixName(mix);
+    for (int t = 0; t < kNumInteractions; ++t) {
+      auto stats = driver.Run(static_cast<Interaction>(t));
+      ASSERT_TRUE(stats.ok())
+          << MixName(mix) << "/"
+          << InteractionName(static_cast<Interaction>(t)) << ": "
+          << stats.status().ToString();
+    }
   }
 }
 
